@@ -1,0 +1,54 @@
+"""Figure 20 / Table 4 (Appendix I.1): sensitivity to the number of content categories."""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import bundle_for, print_header, quick_config
+from repro.experiments.harness import prepare_bundle, run_skyscraper
+from repro.experiments.microbench import switcher_error_analysis
+from repro.experiments.results import ExperimentTable
+from repro.workloads.covid import make_covid_setup
+
+CATEGORY_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.mark.benchmark(group="fig20")
+def test_fig20_number_of_content_categories(benchmark):
+    def sweep():
+        rows = []
+        for n_categories in CATEGORY_COUNTS:
+            config = quick_config()
+            config.n_categories = n_categories
+            setup = make_covid_setup(history_days=config.history_days,
+                                     online_days=config.online_days)
+            bundle = prepare_bundle(setup, config)
+            result = run_skyscraper(bundle, cores=4)
+            errors = switcher_error_analysis(bundle, n_samples=120)
+            rows.append(
+                {
+                    "categories": n_categories,
+                    "quality": round(result.weighted_quality, 3),
+                    "switcher_accuracy": round(1.0 - errors.misclassification_rate, 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    print_header("Sensitivity to the number of content categories", "Figure 20 / Table 4")
+    table = ExperimentTable("COVID: end-to-end quality and switcher accuracy vs. categories")
+    for row in rows:
+        table.add_row(**row)
+    table.add_note(
+        "paper: insensitive once >= 3 categories are used; switcher accuracy decreases slightly "
+        "with more categories (Table 4: 100% -> 95.9%)"
+    )
+    print(table.render())
+
+    qualities = {row["categories"]: row["quality"] for row in rows}
+    accuracies = {row["categories"]: row["switcher_accuracy"] for row in rows}
+    # >= 3 categories should all land in a narrow quality band.
+    multi = [qualities[count] for count in CATEGORY_COUNTS if count >= 3]
+    assert max(multi) - min(multi) < 0.1
+    # Accuracy with one category is trivially perfect and decreases with more.
+    assert accuracies[1] >= accuracies[8] - 1e-9

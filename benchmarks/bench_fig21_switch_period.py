@@ -1,0 +1,48 @@
+"""Figure 21 (Appendix I.2): sensitivity to the knob switching frequency."""
+
+import pytest
+
+from benchmarks.common import bundle_for, print_header
+from repro.experiments.harness import run_skyscraper
+from repro.experiments.results import ExperimentTable
+
+SWITCH_PERIODS = (2.0, 4.0, 8.0, 16.0)
+
+
+@pytest.mark.benchmark(group="fig21")
+def test_fig21_switch_period(benchmark):
+    bundle = bundle_for("covid")
+
+    def sweep():
+        rows = []
+        original = bundle.config.switch_period_seconds
+        try:
+            for period in SWITCH_PERIODS:
+                bundle.config.switch_period_seconds = period
+                bundle.skyscraper.switch_period_seconds = period
+                result = run_skyscraper(bundle, cores=4)
+                rows.append(
+                    {
+                        "switch_period_s": period,
+                        "quality": round(result.weighted_quality, 3),
+                        "switches": result.switch_count,
+                    }
+                )
+        finally:
+            bundle.config.switch_period_seconds = original
+            bundle.skyscraper.switch_period_seconds = original
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    print_header("Sensitivity to the knob switching period", "Figure 21")
+    table = ExperimentTable("COVID: quality vs. switching period")
+    for row in rows:
+        table.add_row(**row)
+    table.add_note("paper: all periods between 2 s and 8 s perform well; the default is 4 s")
+    print(table.render())
+
+    qualities = [row["quality"] for row in rows]
+    switches = [row["switches"] for row in rows]
+    assert max(qualities[:3]) - min(qualities[:3]) < 0.1
+    assert switches[0] >= switches[-1]

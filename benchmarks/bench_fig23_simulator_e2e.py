@@ -1,0 +1,31 @@
+"""Figure 23: simulator accuracy on actual Skyscraper task graphs (COVID, MOT)."""
+
+import pytest
+
+from benchmarks.common import bundle_for, print_header
+from repro.experiments.microbench import simulator_end_to_end_accuracy
+from repro.experiments.results import ExperimentTable
+
+
+@pytest.mark.benchmark(group="fig23")
+@pytest.mark.parametrize("workload_name", ["covid", "mot"])
+def test_fig23_simulator_end_to_end(benchmark, workload_name):
+    bundle = bundle_for(workload_name)
+
+    stats = benchmark.pedantic(
+        simulator_end_to_end_accuracy, args=(bundle,), kwargs={"cores": 8}, iterations=1, rounds=1
+    )
+
+    print_header(f"Simulator accuracy on Skyscraper executions: {workload_name}", "Figure 23")
+    table = ExperimentTable(f"{workload_name}: makespan estimation error over real task graphs")
+    table.add_row(
+        samples=int(stats["samples"]),
+        mean_error_pct=round(100 * stats["mean_error"], 2),
+        max_error_pct=round(100 * stats["max_error"], 2),
+        min_error_pct=round(100 * stats["min_error"], 2),
+    )
+    table.add_note("paper: errors stay below ~9% and grow slightly during rush hours")
+    print(table.render())
+
+    assert stats["mean_error"] < 0.12
+    assert stats["min_error"] > -0.05

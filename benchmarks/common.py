@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The bundles are
+prepared once per workload and cached at module scope; the time windows are
+kept small (hours instead of the paper's 8 days) so the full suite finishes in
+minutes — pass larger ``ExperimentConfig`` windows to approach the paper's
+setup.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.experiments.harness import ExperimentConfig, SystemBundle, prepare_bundle
+from repro.workloads.covid import make_covid_setup
+from repro.workloads.ev import make_ev_setup
+from repro.workloads.mosei import make_mosei_setup
+from repro.workloads.mot import make_mot_setup
+
+#: Machine tiers used in the quick benchmark sweeps.
+QUICK_TIERS = ["e2-standard-4", "e2-standard-16", "c2-standard-60"]
+
+
+def quick_config(online_days: float = 0.05, history_days: float = 0.5) -> ExperimentConfig:
+    """A small experiment window: 12 h of history, ~1.2 h of online video."""
+    return ExperimentConfig(
+        history_days=history_days,
+        online_days=online_days,
+        cloud_budget_per_day=2.0,
+        max_configurations=6,
+        n_categories=4,
+        train_forecaster=False,
+    )
+
+
+@lru_cache(maxsize=None)
+def bundle_for(workload_name: str, online_days: float = 0.05) -> SystemBundle:
+    """A fitted bundle for one of the paper's workloads."""
+    config = quick_config(online_days=online_days)
+    if workload_name == "covid":
+        setup = make_covid_setup(history_days=config.history_days, online_days=online_days)
+    elif workload_name == "mot":
+        setup = make_mot_setup(history_days=config.history_days, online_days=online_days)
+    elif workload_name == "mosei-high":
+        setup = make_mosei_setup(
+            variant="high", history_days=config.history_days, online_days=online_days
+        )
+    elif workload_name == "mosei-long":
+        setup = make_mosei_setup(
+            variant="long", history_days=config.history_days, online_days=online_days
+        )
+    elif workload_name == "ev":
+        setup = make_ev_setup(history_days=config.history_days, online_days=online_days)
+    else:
+        raise ValueError(f"unknown workload {workload_name!r}")
+    return prepare_bundle(setup, config)
+
+
+def print_header(title: str, paper_reference: str) -> None:
+    print()
+    print("#" * 78)
+    print(f"# {title}")
+    print(f"# paper reference: {paper_reference}")
+    print("#" * 78)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable installs
+(``pip install -e .`` through the pyproject build backend) cannot build an
+editable wheel.  This shim lets ``pip install -e . --no-use-pep517`` fall back
+to ``setup.py develop``, which works without ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Baseline systems Skyscraper is compared against (Sections 5.3, 5.4, Appendix G).
+
+* :class:`~repro.baselines.static.StaticPolicy` — one fixed knob configuration
+  for the whole stream;
+* :class:`~repro.baselines.chameleon.ChameleonStarPolicy` — Chameleon adapted
+  with a buffer (content adaptive, but lag- and hardware-agnostic, so prone to
+  buffer overflows);
+* :class:`~repro.baselines.videostorm.VideoStormPolicy` — adapts to the query
+  load only; with a static V-ETL job it degenerates to the best real-time
+  configuration once the buffer has filled;
+* :func:`~repro.baselines.optimum.optimum_assignment` — the knapsack-based
+  Optimum that sees the ground truth (ablation upper bound);
+* :func:`~repro.baselines.idealized.idealized_assignment` — the Appendix B.1
+  idealized per-segment forecasting system.
+"""
+
+from repro.baselines.static import StaticPolicy, best_static_configuration
+from repro.baselines.chameleon import ChameleonStarPolicy
+from repro.baselines.videostorm import VideoStormPolicy
+from repro.baselines.optimum import optimum_assignment, AssignmentResult
+from repro.baselines.idealized import idealized_assignment, time_of_day_forecast
+
+__all__ = [
+    "StaticPolicy",
+    "best_static_configuration",
+    "ChameleonStarPolicy",
+    "VideoStormPolicy",
+    "optimum_assignment",
+    "AssignmentResult",
+    "idealized_assignment",
+    "time_of_day_forecast",
+]

@@ -1,0 +1,101 @@
+"""Chameleon* — Chameleon adapted to V-ETL with a buffer (Section 5.3).
+
+Chameleon [40] periodically re-profiles a set of candidate knob configurations
+on the live video and then uses the cheapest configuration whose profiled
+quality is within a tolerance of the best candidate.  It assumes the hardware
+is peak provisioned: it neither looks at the buffer nor at the available
+cores.  Chameleon* is the paper's adaptation that sets video aside in a buffer
+when it falls behind — which gives cost savings but no throughput guarantee,
+so on small machines it overflows the buffer ("crashes").
+
+The periodic re-profiling is charged as extra work (the "large profiling
+overheads" reported in Section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.core.engine import DecisionContext, PolicyDecision
+from repro.core.interfaces import SegmentOutcome, VETLWorkload
+from repro.core.profiles import ConfigurationProfile, ProfileSet
+
+
+class ChameleonStarPolicy:
+    """Periodic profiling + cheapest-good-enough configuration selection.
+
+    Args:
+        workload: the V-ETL job (Chameleon runs candidate configurations on
+            live segments during its profiling phase, so it needs the job).
+        profiles: profiled knob configurations (Chameleon profiles the same
+            filtered candidate set to keep the comparison fair).
+        profiling_period_seconds: how often the leader election re-runs
+            (Chameleon's "profiling period"; default 8 minutes).
+        quality_tolerance: pick the cheapest configuration whose profiled
+            quality is at least ``quality_tolerance`` times the best
+            candidate's quality.
+    """
+
+    name = "chameleon*"
+
+    def __init__(
+        self,
+        workload: VETLWorkload,
+        profiles: ProfileSet,
+        profiling_period_seconds: float = 480.0,
+        quality_tolerance: float = 0.9,
+    ):
+        if profiling_period_seconds <= 0:
+            raise ConfigurationError("profiling_period_seconds must be positive")
+        if not 0.0 < quality_tolerance <= 1.0:
+            raise ConfigurationError("quality_tolerance must be in (0, 1]")
+        self.workload = workload
+        self.profiles = profiles
+        self.profiling_period_seconds = profiling_period_seconds
+        self.quality_tolerance = quality_tolerance
+        self._current: ConfigurationProfile = profiles.most_qualitative()
+        self._last_profiling_time: Optional[float] = None
+        self.profiling_runs = 0
+
+    def decide(self, context: DecisionContext) -> PolicyDecision:
+        extra_work = 0.0
+        now = context.decision_time
+        due = (
+            self._last_profiling_time is None
+            or now - self._last_profiling_time >= self.profiling_period_seconds
+        )
+        if due:
+            extra_work = self._profile(context)
+            self._last_profiling_time = now
+            self.profiling_runs += 1
+
+        profile = self._current
+        return PolicyDecision(
+            configuration_index=self.profiles.index_of(profile.configuration),
+            profile=profile,
+            placement=profile.on_prem_placement,
+            extra_work_core_seconds=extra_work,
+            metadata={"profiling": 1.0 if due else 0.0},
+        )
+
+    def observe(self, outcome: SegmentOutcome, decision: PolicyDecision) -> None:
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Profiling phase
+    # ------------------------------------------------------------------ #
+    def _profile(self, context: DecisionContext) -> float:
+        """Run every candidate on the current segment; return the work spent."""
+        segment = context.segment
+        measured: List[tuple] = []
+        extra_work = 0.0
+        for profile in self.profiles:
+            outcome = self.workload.evaluate(profile.configuration, segment)
+            measured.append((profile, outcome.reported_quality))
+            extra_work += profile.work_core_seconds
+        best_quality = max(quality for _, quality in measured)
+        threshold = best_quality * self.quality_tolerance
+        good_enough = [profile for profile, quality in measured if quality >= threshold]
+        self._current = min(good_enough, key=lambda profile: profile.work_core_seconds)
+        return extra_work

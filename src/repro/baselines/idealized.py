@@ -1,0 +1,97 @@
+"""The idealized per-segment forecasting system of Appendix B.1.
+
+Section 2's "simplistic, idealized" design forecasts the quality of every knob
+configuration on every future two-second slot and solves a knapsack over the
+slots.  Since fitting a statistical model with a 259,200-dimensional output is
+hopeless, the paper (and this module) uses the average time-of-day quality
+observed over the previous two days as the per-slot forecast.  Figure 16
+compares this design against the practical Skyscraper design and shows that it
+falls well short of optimal because the per-slot forecasts are poor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.baselines.optimum import AssignmentResult, optimum_assignment
+from repro.core.interfaces import VETLWorkload
+from repro.core.profiles import ProfileSet
+from repro.video.frame import VideoSegment
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def time_of_day_forecast(
+    workload: VETLWorkload,
+    profiles: ProfileSet,
+    history_segments: Sequence[VideoSegment],
+    bucket_seconds: float = 900.0,
+) -> Callable[[int, VideoSegment], float]:
+    """Per-slot quality forecast: average time-of-day quality over the history.
+
+    Args:
+        workload: the V-ETL job.
+        profiles: profiled knob configurations.
+        history_segments: segments of the recent history (e.g. two days).
+        bucket_seconds: width of the time-of-day buckets the history is
+            averaged over.
+
+    Returns:
+        A function mapping ``(configuration_index, segment)`` to the forecast
+        quality of that configuration on that (future) segment.
+    """
+    if not history_segments:
+        raise ConfigurationError("history_segments must not be empty")
+    if bucket_seconds <= 0:
+        raise ConfigurationError("bucket_seconds must be positive")
+    n_buckets = int(np.ceil(SECONDS_PER_DAY / bucket_seconds))
+    n_configs = len(profiles)
+    sums = np.zeros((n_configs, n_buckets))
+    counts = np.zeros((n_configs, n_buckets))
+
+    for segment in history_segments:
+        bucket = int((segment.start_time % SECONDS_PER_DAY) // bucket_seconds) % n_buckets
+        for config_index in range(n_configs):
+            quality = workload.evaluate(profiles[config_index].configuration, segment).true_quality
+            sums[config_index, bucket] += quality
+            counts[config_index, bucket] += 1
+
+    overall_mean = np.divide(sums.sum(axis=1), np.maximum(counts.sum(axis=1), 1.0))
+    averages = np.divide(sums, np.maximum(counts, 1.0))
+    # Buckets never observed fall back to the configuration's overall mean.
+    for config_index in range(n_configs):
+        empty = counts[config_index] == 0
+        averages[config_index, empty] = overall_mean[config_index]
+
+    def forecast(config_index: int, segment: VideoSegment) -> float:
+        bucket = int((segment.start_time % SECONDS_PER_DAY) // bucket_seconds) % n_buckets
+        return float(averages[config_index, bucket])
+
+    return forecast
+
+
+def idealized_assignment(
+    workload: VETLWorkload,
+    profiles: ProfileSet,
+    history_segments: Sequence[VideoSegment],
+    future_segments: Sequence[VideoSegment],
+    budget_core_seconds: float,
+    bucket_seconds: float = 900.0,
+) -> AssignmentResult:
+    """Assignment chosen from time-of-day forecasts, evaluated on the ground truth.
+
+    The knapsack optimizes the *forecast* quality; the returned result credits
+    the *true* quality of the chosen configurations, so forecast errors show
+    up as lost quality exactly as in Figure 16.
+    """
+    forecast = time_of_day_forecast(workload, profiles, history_segments, bucket_seconds)
+    return optimum_assignment(
+        workload,
+        profiles,
+        future_segments,
+        budget_core_seconds,
+        quality_fn=forecast,
+    )

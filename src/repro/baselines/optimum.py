@@ -1,0 +1,99 @@
+"""The Optimum baseline of the ablation study (Section 5.4, variant 2c).
+
+The Optimum fully leverages the ground truth: it knows the quality every knob
+configuration achieves on every segment ahead of time and uses the greedy 0-1
+knapsack approximation to pick, per segment, the configuration maximizing the
+total quality under the work budget.  It is an upper bound no online system
+can reach; Figures 7/9/11 show Skyscraper coming close to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.core.interfaces import VETLWorkload
+from repro.core.profiles import ProfileSet
+from repro.ml.knapsack import KnapsackItem, greedy_knapsack
+from repro.video.frame import VideoSegment
+
+
+@dataclass
+class AssignmentResult:
+    """Outcome of an offline per-segment configuration assignment."""
+
+    total_quality: float
+    total_work_core_seconds: float
+    choices: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_quality(self) -> float:
+        if not self.choices:
+            return 0.0
+        return self.total_quality / len(self.choices)
+
+
+def optimum_assignment(
+    workload: VETLWorkload,
+    profiles: ProfileSet,
+    segments: Sequence[VideoSegment],
+    budget_core_seconds: float,
+    quality_fn: Optional[Callable[[int, VideoSegment], float]] = None,
+) -> AssignmentResult:
+    """Knapsack assignment of configurations to segments with full ground truth.
+
+    Args:
+        workload: the V-ETL job (used to obtain ground-truth qualities).
+        profiles: profiled knob configurations (their on-premise work is the
+            knapsack cost).
+        segments: the segments of the evaluation window.
+        budget_core_seconds: total work budget over the window.
+        quality_fn: optional override mapping ``(configuration_index, segment)``
+            to the quality credited by the knapsack; defaults to the ground
+            truth.  The idealized baseline passes its forecast here.
+
+    Returns:
+        The realized (ground-truth) total quality and work of the assignment.
+    """
+    if not segments:
+        raise ConfigurationError("optimum_assignment needs at least one segment")
+    if budget_core_seconds <= 0:
+        raise ConfigurationError("budget_core_seconds must be positive")
+
+    costs = [profile.work_core_seconds for profile in profiles]
+
+    def true_quality(config_index: int, segment: VideoSegment) -> float:
+        return workload.evaluate(profiles[config_index].configuration, segment).true_quality
+
+    value_fn = quality_fn or true_quality
+
+    items: List[KnapsackItem] = []
+    for segment in segments:
+        for config_index in range(len(profiles)):
+            items.append(
+                KnapsackItem(
+                    key=segment.segment_index,
+                    option=config_index,
+                    value=value_fn(config_index, segment),
+                    cost=costs[config_index],
+                )
+            )
+
+    choices, _, _ = greedy_knapsack(items, budget_core_seconds)
+
+    total_quality = 0.0
+    total_work = 0.0
+    assignment: Dict[int, int] = {}
+    for segment in segments:
+        item = choices[segment.segment_index]
+        config_index = int(item.option)
+        assignment[segment.segment_index] = config_index
+        total_quality += true_quality(config_index, segment)
+        total_work += costs[config_index]
+
+    return AssignmentResult(
+        total_quality=total_quality,
+        total_work_core_seconds=total_work,
+        choices=assignment,
+    )

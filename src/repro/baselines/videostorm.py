@@ -1,0 +1,54 @@
+"""VideoStorm baseline (Appendix G).
+
+VideoStorm [81] tunes knobs based on the *query load*, not the streamed
+content.  With a static V-ETL job the query load never changes, so VideoStorm
+always requests the most qualitative configuration it believes it can afford:
+it is lag-aware (it will not overflow its buffer) but content-agnostic.  The
+observable behaviour reported in Appendix G follows: the buffer fills early in
+the run and from then on VideoStorm behaves like the static baseline that uses
+the best real-time configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.engine import DecisionContext, PolicyDecision
+from repro.core.interfaces import SegmentOutcome
+from repro.core.profiles import ConfigurationProfile, ProfileSet
+
+
+class VideoStormPolicy:
+    """Most qualitative configuration whose lag still fits in the buffer."""
+
+    name = "videostorm"
+
+    def __init__(self, profiles: ProfileSet, segment_seconds: float, safety_margin: float = 0.9):
+        self.profiles = profiles
+        self.segment_seconds = segment_seconds
+        self.safety_margin = safety_margin
+        self._quality_order: List[ConfigurationProfile] = profiles.by_quality_descending()
+
+    def decide(self, context: DecisionContext) -> PolicyDecision:
+        for profile in self._quality_order:
+            placement = profile.on_prem_placement
+            growth = max(placement.runtime_seconds - self.segment_seconds, 0.0)
+            # Two segments of headroom: the video arriving before the next
+            # decision plus slack for bitrate fluctuations during bursts.
+            headroom = 2.0 * self.segment_seconds * context.bytes_per_second
+            predicted = context.backlog_bytes + growth * context.bytes_per_second + headroom
+            if predicted <= context.buffer_capacity_bytes * self.safety_margin:
+                return PolicyDecision(
+                    configuration_index=self.profiles.index_of(profile.configuration),
+                    profile=profile,
+                    placement=placement,
+                )
+        cheapest = self.profiles.cheapest()
+        return PolicyDecision(
+            configuration_index=self.profiles.index_of(cheapest.configuration),
+            profile=cheapest,
+            placement=cheapest.on_prem_placement,
+        )
+
+    def observe(self, outcome: SegmentOutcome, decision: PolicyDecision) -> None:
+        return None

@@ -1,0 +1,36 @@
+"""Execution substrate: on-premise cluster, cloud service, cost model, simulator.
+
+Industrial live-video deployments are provisioned with a local compute
+cluster, a video buffer, and on-demand cloud workers (Section 1, [35]).  This
+package models those resources and provides the Appendix-M discrete-event
+simulator the paper itself uses for its ablations, plus a fine-grained
+reference executor used to evaluate the simulator's accuracy (Figures 22-23).
+"""
+
+from repro.cluster.resources import ClusterSpec, CloudSpec, CloudFunctionPricing
+from repro.cluster.cost import (
+    MachineType,
+    GCP_MACHINES,
+    CostModel,
+    CLOUD_TO_ON_PREM_RATIO,
+)
+from repro.cluster.simulator import PlacementSimulator, SimulatedExecution
+from repro.cluster.executor import ReferenceExecutor, ExecutionTrace, TaskCompletion
+from repro.cluster.profiler import PlacementProfile, profile_placements
+
+__all__ = [
+    "ClusterSpec",
+    "CloudSpec",
+    "CloudFunctionPricing",
+    "MachineType",
+    "GCP_MACHINES",
+    "CostModel",
+    "CLOUD_TO_ON_PREM_RATIO",
+    "PlacementSimulator",
+    "SimulatedExecution",
+    "ReferenceExecutor",
+    "ExecutionTrace",
+    "TaskCompletion",
+    "PlacementProfile",
+    "profile_placements",
+]

@@ -1,0 +1,133 @@
+"""Monetary cost model: machine catalogue and cloud/on-prem cost ratio.
+
+Section 5.3 evaluates Skyscraper on Google Cloud VM instances standing in for
+on-premise servers, and Appendix L estimates that the same computation costs
+1.8x more on the cloud than on an owned commodity server (a deliberately
+pessimistic estimate in favour of the baselines).  The ablation study
+additionally considers 1:1 and 5:2 ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+#: Appendix L estimate of how much more a unit of compute costs on the cloud
+#: relative to an owned on-premise server.
+CLOUD_TO_ON_PREM_RATIO = 1.8
+
+
+@dataclass(frozen=True)
+class MachineType:
+    """A provisionable always-on machine (the paper uses GCP instances).
+
+    Attributes:
+        name: instance type name.
+        vcpus: number of virtual CPUs.
+        memory_gb: installed memory.
+        dollars_per_hour: on-demand rental price.
+    """
+
+    name: str
+    vcpus: int
+    memory_gb: float
+    dollars_per_hour: float
+
+    def __post_init__(self):
+        if self.vcpus < 1:
+            raise ConfigurationError("vcpus must be positive")
+        if self.dollars_per_hour < 0:
+            raise ConfigurationError("dollars_per_hour must be non-negative")
+
+    def dollars_for(self, hours: float) -> float:
+        """Rental cost of keeping the machine on for ``hours`` hours."""
+        if hours < 0:
+            raise ConfigurationError("hours must be non-negative")
+        return self.dollars_per_hour * hours
+
+    def dollars_per_core_hour(self) -> float:
+        return self.dollars_per_hour / self.vcpus
+
+
+#: The machine tiers used in Section 5.3 with their list prices.
+GCP_MACHINES: Dict[str, MachineType] = {
+    "e2-standard-4": MachineType("e2-standard-4", 4, 16.0, 0.14),
+    "e2-standard-8": MachineType("e2-standard-8", 8, 32.0, 0.27),
+    "e2-standard-16": MachineType("e2-standard-16", 16, 64.0, 0.54),
+    "e2-standard-32": MachineType("e2-standard-32", 32, 128.0, 1.07),
+    "c2-standard-60": MachineType("c2-standard-60", 60, 240.0, 2.51),
+}
+
+
+class CostModel:
+    """Converts compute into dollars under a cloud/on-prem cost ratio.
+
+    Args:
+        cloud_to_on_prem_ratio: how many dollars one unit of cloud compute
+            costs relative to the same unit on premises (1.8 in Appendix L).
+        on_prem_dollars_per_core_hour: owned-hardware cost of one core hour;
+            derived from the e2-standard-8 price and the Appendix-L ratio by
+            default, so the Section 5.3 total-cost arithmetic is reproduced.
+    """
+
+    def __init__(
+        self,
+        cloud_to_on_prem_ratio: float = CLOUD_TO_ON_PREM_RATIO,
+        on_prem_dollars_per_core_hour: Optional[float] = None,
+    ):
+        if cloud_to_on_prem_ratio <= 0:
+            raise ConfigurationError("cloud_to_on_prem_ratio must be positive")
+        self.cloud_to_on_prem_ratio = cloud_to_on_prem_ratio
+        if on_prem_dollars_per_core_hour is None:
+            reference = GCP_MACHINES["e2-standard-8"]
+            on_prem_dollars_per_core_hour = (
+                reference.dollars_per_core_hour() / CLOUD_TO_ON_PREM_RATIO
+            )
+        if on_prem_dollars_per_core_hour <= 0:
+            raise ConfigurationError("on_prem_dollars_per_core_hour must be positive")
+        self.on_prem_dollars_per_core_hour = on_prem_dollars_per_core_hour
+
+    # ------------------------------------------------------------------ #
+    # Provisioned (always-on) cost, Section 5.3 accounting
+    # ------------------------------------------------------------------ #
+    def provisioned_machine_dollars(self, machine: MachineType, hours: float) -> float:
+        """On-premise-equivalent cost of renting a GCP machine for ``hours``.
+
+        The paper charges the GCP rental price divided by the 1.8 ratio, plus
+        any cloud-function spend (added separately by the caller).
+        """
+        return machine.dollars_for(hours) / CLOUD_TO_ON_PREM_RATIO
+
+    # ------------------------------------------------------------------ #
+    # Work-based cost, Section 5.4 ablation accounting
+    # ------------------------------------------------------------------ #
+    def on_prem_work_dollars(self, core_seconds: float) -> float:
+        """Cost of executing ``core_seconds`` of work on owned hardware."""
+        if core_seconds < 0:
+            raise ConfigurationError("core_seconds must be non-negative")
+        return core_seconds / 3600.0 * self.on_prem_dollars_per_core_hour
+
+    def cloud_work_dollars(self, core_seconds: float) -> float:
+        """Cost of executing ``core_seconds`` of work on cloud functions."""
+        if core_seconds < 0:
+            raise ConfigurationError("core_seconds must be non-negative")
+        return self.on_prem_work_dollars(core_seconds) * self.cloud_to_on_prem_ratio
+
+    def total_work_dollars(self, on_prem_core_seconds: float, cloud_core_seconds: float) -> float:
+        """Combined cost of a run that used both resource kinds."""
+        return self.on_prem_work_dollars(on_prem_core_seconds) + self.cloud_work_dollars(
+            cloud_core_seconds
+        )
+
+
+def machine_for_cores(cores: int) -> MachineType:
+    """Smallest catalogued machine with at least ``cores`` vCPUs."""
+    if cores < 1:
+        raise ConfigurationError("cores must be positive")
+    candidates = sorted(GCP_MACHINES.values(), key=lambda machine: machine.vcpus)
+    for machine in candidates:
+        if machine.vcpus >= cores:
+            return machine
+    return candidates[-1]

@@ -1,0 +1,174 @@
+"""Fine-grained reference executor.
+
+The paper validates its Appendix-M simulator against measurements on real
+hardware (Figures 22-23): estimation errors stay below ~9% and the simulator
+only ever *over*estimates, because real executions benefit from effects the
+simulator ignores (overlap of decode and compute, occasional multi-core UDFs,
+cloud warm starts).  Offline we cannot measure real hardware, so this module
+plays the role of "real hardware": a discrete-event executor that models the
+same resources but with those second-order effects — slight per-task speedups
+and rare cloud latency spikes — so the simulator's accuracy experiment remains
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.cluster.resources import CloudSpec
+from repro.vision.dag import TaskGraph
+
+
+@dataclass(frozen=True)
+class TaskCompletion:
+    """Completion record of one task in a reference execution."""
+
+    task: str
+    location: str
+    start_seconds: float
+    finish_seconds: float
+
+
+@dataclass
+class ExecutionTrace:
+    """Outcome of a reference execution.
+
+    Attributes:
+        makespan_seconds: wall-clock time until the last task finished.
+        completions: per-task completion records in finish order.
+        cloud_dollars: cloud spend of the run.
+        on_prem_core_seconds: total on-premise busy time.
+    """
+
+    makespan_seconds: float
+    completions: List[TaskCompletion] = field(default_factory=list)
+    cloud_dollars: float = 0.0
+    on_prem_core_seconds: float = 0.0
+
+    def finish_time(self, task: str) -> float:
+        for completion in self.completions:
+            if completion.task == task:
+                return completion.finish_seconds
+        raise ConfigurationError(f"task {task!r} not present in trace")
+
+
+class ReferenceExecutor:
+    """Ground-truth executor with second-order effects the simulator ignores.
+
+    Args:
+        cores: on-premise cores.
+        cloud: cloud specification.
+        efficiency_gain: mean fraction by which real on-premise tasks run
+            faster than their profiled single-core time (cache effects,
+            overlap with decode).  Positive values make the Appendix-M
+            simulator overestimate, as observed in the paper.
+        runtime_jitter: relative standard deviation of per-task runtimes.
+        cloud_spike_probability: probability that a cloud invocation suffers a
+            latency spike (cold start, retransmit).
+        cloud_spike_seconds: added latency of a spike.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        cores: int,
+        cloud: Optional[CloudSpec] = None,
+        efficiency_gain: float = 0.04,
+        runtime_jitter: float = 0.02,
+        cloud_spike_probability: float = 0.01,
+        cloud_spike_seconds: float = 0.8,
+        seed: int = 0,
+    ):
+        if cores < 1:
+            raise ConfigurationError("the executor needs at least one core")
+        if not 0.0 <= efficiency_gain < 1.0:
+            raise ConfigurationError("efficiency_gain must be in [0, 1)")
+        self.cores = cores
+        self.cloud = cloud or CloudSpec()
+        self.efficiency_gain = efficiency_gain
+        self.runtime_jitter = runtime_jitter
+        self.cloud_spike_probability = cloud_spike_probability
+        self.cloud_spike_seconds = cloud_spike_seconds
+        self._rng = np.random.default_rng(seed)
+
+    def execute(self, graph: TaskGraph, placement: Mapping[str, str]) -> ExecutionTrace:
+        """Execute the placed graph and return the completion trace."""
+        graph.validate_placement(placement)
+        core_free_at = [0.0] * self.cores
+        uplink_free_at = 0.0
+        cloud_slots_free_at = [0.0] * self.cloud.max_concurrency
+        finish_times: Dict[str, float] = {}
+        completions: List[TaskCompletion] = []
+        cloud_dollars = 0.0
+        on_prem_core_seconds = 0.0
+
+        order = graph.topological_order()
+        pending = set(order)
+        topo_rank = {name: index for index, name in enumerate(order)}
+
+        while pending:
+            candidate = min(
+                pending,
+                key=lambda name: (
+                    self._ready_time(graph, name, finish_times),
+                    topo_rank[name],
+                ),
+            )
+            pending.remove(candidate)
+            ready_time = self._ready_time(graph, candidate, finish_times)
+            task = graph.task(candidate)
+            location = placement[candidate]
+
+            if location == "on_prem":
+                runtime = task.cost.on_prem_seconds * (1.0 - self.efficiency_gain)
+                runtime *= max(1.0 + self._rng.normal(0.0, self.runtime_jitter), 0.2)
+                core_index = min(range(self.cores), key=lambda index: core_free_at[index])
+                start = max(core_free_at[core_index], ready_time)
+                finish = start + runtime
+                core_free_at[core_index] = finish
+                on_prem_core_seconds += runtime
+            else:
+                upload_time = self.cloud.upload_seconds(task.cost.upload_bytes)
+                dispatchable = max(ready_time, uplink_free_at)
+                upload_done = dispatchable + upload_time
+                uplink_free_at = upload_done
+                slot_index = min(
+                    range(len(cloud_slots_free_at)), key=lambda index: cloud_slots_free_at[index]
+                )
+                round_trip = task.cost.cloud_seconds
+                round_trip *= max(1.0 + self._rng.normal(0.0, self.runtime_jitter), 0.2)
+                if self._rng.uniform() < self.cloud_spike_probability:
+                    round_trip += self.cloud_spike_seconds
+                start = max(upload_done, cloud_slots_free_at[slot_index])
+                finish = start + round_trip + self.cloud.download_seconds(task.cost.download_bytes)
+                cloud_slots_free_at[slot_index] = finish
+                cloud_dollars += task.cost.cloud_dollars + self.cloud.pricing.dollars_per_request
+
+            finish_times[candidate] = finish
+            completions.append(
+                TaskCompletion(
+                    task=candidate, location=location, start_seconds=start, finish_seconds=finish
+                )
+            )
+
+        completions.sort(key=lambda completion: completion.finish_seconds)
+        return ExecutionTrace(
+            makespan_seconds=max(finish_times.values(), default=0.0),
+            completions=completions,
+            cloud_dollars=cloud_dollars,
+            on_prem_core_seconds=on_prem_core_seconds,
+        )
+
+    @staticmethod
+    def _ready_time(graph: TaskGraph, name: str, finish_times: Mapping[str, float]) -> float:
+        parents = graph.parents(name)
+        if not parents:
+            return 0.0
+        missing = [parent for parent in parents if parent not in finish_times]
+        if missing:
+            return float("inf")
+        return max(finish_times[parent] for parent in parents)

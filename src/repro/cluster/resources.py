@@ -1,0 +1,113 @@
+"""Resource descriptions: on-premise cluster, cloud service, bandwidth.
+
+These are static specifications; the dynamic behaviour (which core is busy
+until when, how much uplink is in use) lives in the simulator and executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Provisioned on-premise hardware.
+
+    Attributes:
+        cores: number of physical/virtual cores usable for UDF execution.
+        memory_gb: installed memory (informational; the workloads in the
+            paper are compute bound).
+        flops_per_core: effective FLOP/s per core, used only to convert
+            core-seconds into the TFLOP/s numbers plotted in Figure 3.
+    """
+
+    cores: int
+    memory_gb: float = 16.0
+    flops_per_core: float = 50e9
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ConfigurationError("a cluster needs at least one core")
+        if self.memory_gb <= 0:
+            raise ConfigurationError("memory_gb must be positive")
+        if self.flops_per_core <= 0:
+            raise ConfigurationError("flops_per_core must be positive")
+
+    def core_seconds_per_wall_second(self) -> float:
+        """Aggregate compute available per second of wall-clock time."""
+        return float(self.cores)
+
+
+@dataclass(frozen=True)
+class CloudFunctionPricing:
+    """Pricing of the serverless cloud functions (AWS-Lambda-like).
+
+    The paper provisions 3 GB functions (Section 5.1); at the published
+    GB-second price that is roughly $0.00005 per compute second plus a small
+    per-request fee.
+    """
+
+    dollars_per_gb_second: float = 0.0000166667
+    memory_gb: float = 3.0
+    dollars_per_request: float = 0.0000002
+
+    def dollars_for(self, compute_seconds: float, requests: int = 1) -> float:
+        if compute_seconds < 0 or requests < 0:
+            raise ConfigurationError("compute_seconds and requests must be non-negative")
+        return (
+            compute_seconds * self.memory_gb * self.dollars_per_gb_second
+            + requests * self.dollars_per_request
+        )
+
+
+@dataclass(frozen=True)
+class CloudSpec:
+    """On-demand cloud service reachable from the on-premise cluster.
+
+    Attributes:
+        max_concurrency: maximum number of cloud functions in flight.
+        uplink_bytes_per_second: uplink bandwidth from the cluster to the
+            cloud; this is the bottleneck that makes cloud bursting struggle
+            on MOSEI-HIGH (Section 5.4).
+        downlink_bytes_per_second: downlink bandwidth (results are small).
+        round_trip_seconds: base network round-trip/invocation latency.
+        pricing: serverless pricing model.
+        daily_budget_dollars: optional cap on cloud spend per day (the user's
+            cloud credits); ``None`` means unlimited.
+    """
+
+    max_concurrency: int = 64
+    uplink_bytes_per_second: float = 60e6 / 8.0 * 8  # 60 Mbit/s expressed in bytes
+    downlink_bytes_per_second: float = 200e6 / 8.0
+    round_trip_seconds: float = 0.12
+    pricing: CloudFunctionPricing = field(default_factory=CloudFunctionPricing)
+    daily_budget_dollars: float = None
+
+    def __post_init__(self):
+        if self.max_concurrency < 1:
+            raise ConfigurationError("max_concurrency must be at least 1")
+        if self.uplink_bytes_per_second <= 0 or self.downlink_bytes_per_second <= 0:
+            raise ConfigurationError("bandwidths must be positive")
+        if self.round_trip_seconds < 0:
+            raise ConfigurationError("round_trip_seconds must be non-negative")
+        if self.daily_budget_dollars is not None and self.daily_budget_dollars < 0:
+            raise ConfigurationError("daily_budget_dollars must be non-negative")
+
+    def upload_seconds(self, payload_bytes: int) -> float:
+        """Time to push a payload through the uplink."""
+        if payload_bytes < 0:
+            raise ConfigurationError("payload_bytes must be non-negative")
+        return payload_bytes / self.uplink_bytes_per_second
+
+    def download_seconds(self, payload_bytes: int) -> float:
+        if payload_bytes < 0:
+            raise ConfigurationError("payload_bytes must be non-negative")
+        return payload_bytes / self.downlink_bytes_per_second
+
+
+#: A cloud spec with no usable cloud (for the "only buffering" ablation).
+def no_cloud_spec() -> CloudSpec:
+    """A cloud specification whose daily budget is zero (cloud disabled)."""
+    return CloudSpec(daily_budget_dollars=0.0)

@@ -1,0 +1,142 @@
+"""Appendix-M placement simulator.
+
+Given a task graph, a placement (which tasks run on premises, which on the
+cloud), the number of on-premise cores and a cloud specification, the
+simulator estimates the makespan of executing the graph, the cloud spend and
+the bytes pushed through the uplink.  The algorithm follows Appendix M.1:
+
+* on-premise tasks are greedily assigned to the core that frees up earliest;
+* cloud tasks occupy the uplink for the time needed to upload their payload,
+  then run for their measured round-trip time;
+* a task becomes ready when all its parents have finished;
+* the simulated runtime is the time the last task finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.cluster.resources import CloudSpec
+from repro.vision.dag import TaskGraph
+
+
+@dataclass
+class SimulatedExecution:
+    """Outcome of simulating one task graph under one placement.
+
+    Attributes:
+        makespan_seconds: estimated wall-clock time to finish every task.
+        on_prem_core_seconds: total busy time summed over on-premise cores.
+        cloud_core_seconds: total cloud compute time (excluding network).
+        cloud_dollars: estimated cloud spend.
+        upload_bytes: total payload pushed through the uplink.
+        task_finish_times: per-task estimated completion times.
+    """
+
+    makespan_seconds: float
+    on_prem_core_seconds: float
+    cloud_core_seconds: float
+    cloud_dollars: float
+    upload_bytes: int
+    task_finish_times: Dict[str, float] = field(default_factory=dict)
+
+
+class PlacementSimulator:
+    """Estimates the runtime of a placed task graph (Appendix M.1).
+
+    Args:
+        cores: number of on-premise cores available to the graph.
+        cloud: cloud specification (bandwidth, latency, concurrency).
+    """
+
+    def __init__(self, cores: int, cloud: Optional[CloudSpec] = None):
+        if cores < 1:
+            raise ConfigurationError("the simulator needs at least one core")
+        self.cores = cores
+        self.cloud = cloud or CloudSpec()
+
+    def simulate(self, graph: TaskGraph, placement: Mapping[str, str]) -> SimulatedExecution:
+        """Simulate the execution of ``graph`` under ``placement``."""
+        graph.validate_placement(placement)
+
+        core_free_at = [0.0] * self.cores
+        uplink_free_at = 0.0
+        cloud_slots_free_at = [0.0] * self.cloud.max_concurrency
+        finish_times: Dict[str, float] = {}
+        on_prem_core_seconds = 0.0
+        cloud_core_seconds = 0.0
+        cloud_dollars = 0.0
+        upload_bytes = 0
+
+        # Process tasks in the order in which their dependencies resolve,
+        # breaking ties by topological position (Appendix M: "chooses the task
+        # whose dependencies are resolved at the earliest time").
+        order = graph.topological_order()
+        pending = set(order)
+        topo_rank = {name: index for index, name in enumerate(order)}
+
+        while pending:
+            candidate = min(
+                pending,
+                key=lambda name: (
+                    self._ready_time(graph, name, finish_times),
+                    topo_rank[name],
+                ),
+            )
+            # A task is only schedulable once all parents finished.
+            if any(parent not in finish_times for parent in graph.parents(candidate)):
+                # Should not happen with a DAG, but guard against it.
+                raise ConfigurationError("dependency cycle detected during simulation")
+            pending.remove(candidate)
+            ready_time = self._ready_time(graph, candidate, finish_times)
+            task = graph.task(candidate)
+
+            if placement[candidate] == "on_prem":
+                core_index = min(range(self.cores), key=lambda index: core_free_at[index])
+                start = max(core_free_at[core_index], ready_time)
+                finish = start + task.cost.on_prem_seconds
+                core_free_at[core_index] = finish
+                on_prem_core_seconds += task.cost.on_prem_seconds
+            else:
+                # Upload occupies the (shared) uplink fully for its duration.
+                upload_time = self.cloud.upload_seconds(task.cost.upload_bytes)
+                dispatchable = max(ready_time, uplink_free_at)
+                upload_done = dispatchable + upload_time
+                uplink_free_at = upload_done
+                slot_index = min(
+                    range(len(cloud_slots_free_at)), key=lambda index: cloud_slots_free_at[index]
+                )
+                start = max(upload_done, cloud_slots_free_at[slot_index])
+                download_time = self.cloud.download_seconds(task.cost.download_bytes)
+                finish = start + task.cost.cloud_seconds + download_time
+                cloud_slots_free_at[slot_index] = finish
+                compute_seconds = max(
+                    task.cost.cloud_seconds - self.cloud.round_trip_seconds, 0.0
+                )
+                cloud_core_seconds += compute_seconds
+                cloud_dollars += task.cost.cloud_dollars + self.cloud.pricing.dollars_per_request
+                upload_bytes += task.cost.upload_bytes
+
+            finish_times[candidate] = finish
+
+        makespan = max(finish_times.values(), default=0.0)
+        return SimulatedExecution(
+            makespan_seconds=makespan,
+            on_prem_core_seconds=on_prem_core_seconds,
+            cloud_core_seconds=cloud_core_seconds,
+            cloud_dollars=cloud_dollars,
+            upload_bytes=upload_bytes,
+            task_finish_times=finish_times,
+        )
+
+    @staticmethod
+    def _ready_time(graph: TaskGraph, name: str, finish_times: Mapping[str, float]) -> float:
+        parents = graph.parents(name)
+        if not parents:
+            return 0.0
+        missing = [parent for parent in parents if parent not in finish_times]
+        if missing:
+            return float("inf")
+        return max(finish_times[parent] for parent in parents)

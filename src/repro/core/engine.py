@@ -1,0 +1,361 @@
+"""The ingestion engine: discrete-time execution of a V-ETL job.
+
+The engine drives one ingestion run: segments arrive at the rate the source
+produces them, a *policy* (Skyscraper's switcher, or one of the baselines)
+chooses a knob configuration and task placement for every segment, the
+profiled runtime of that placement advances the processing clock, lag
+accumulates in the byte-bounded buffer, and cloud spend is charged against the
+daily budget.  This is the Appendix-M simulation model applied end-to-end; the
+same engine runs every system in the evaluation so comparisons are apples to
+apples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.cluster.profiler import PlacementProfile
+from repro.cluster.resources import CloudSpec, ClusterSpec
+from repro.core.interfaces import SegmentOutcome, VETLWorkload
+from repro.core.profiles import ConfigurationProfile, ProfileSet
+from repro.video.frame import VideoSegment
+from repro.video.stream import SyntheticVideoSource
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass
+class DecisionContext:
+    """Everything a policy may observe when deciding how to process a segment.
+
+    Only observable state is exposed: the reported quality of the previous
+    segment, buffer occupancy, bandwidth, remaining cloud budget — never the
+    ground-truth quality of the segment about to be processed.
+    """
+
+    segment: VideoSegment
+    decision_time: float
+    backlog_bytes: int
+    buffer_capacity_bytes: int
+    bytes_per_second: float
+    lag_seconds: float
+    cloud_budget_remaining: float
+    last_reported_quality: float
+    last_configuration_index: int
+    segments_processed: int
+
+
+@dataclass
+class PolicyDecision:
+    """A policy's choice for one segment.
+
+    Attributes:
+        configuration_index: index into the engine's profile set.
+        profile: the chosen configuration's profile.
+        placement: the chosen task placement.
+        extra_work_core_seconds: additional on-premise work charged to this
+            segment (e.g. Chameleon's online profiling overhead).
+        metadata: free-form diagnostics stored in the segment trace.
+    """
+
+    configuration_index: int
+    profile: ConfigurationProfile
+    placement: PlacementProfile
+    extra_work_core_seconds: float = 0.0
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+
+class Policy(Protocol):
+    """A per-segment decision procedure (Skyscraper or a baseline)."""
+
+    name: str
+
+    def decide(self, context: DecisionContext) -> PolicyDecision:
+        """Choose configuration and placement for the segment in ``context``."""
+        ...
+
+    def observe(self, outcome: SegmentOutcome, decision: PolicyDecision) -> None:
+        """Receive the outcome of the segment just processed (optional hook)."""
+        ...
+
+
+@dataclass
+class SegmentTrace:
+    """Per-segment telemetry recorded by the engine."""
+
+    segment_index: int
+    arrival_time: float
+    start_time: float
+    finish_time: float
+    configuration_index: int
+    configuration_label: str
+    cloud_tasks: int
+    runtime_seconds: float
+    work_core_seconds: float
+    cloud_dollars: float
+    reported_quality: float
+    true_quality: float
+    buffer_bytes: int
+    category: Optional[int] = None
+    dropped: bool = False
+
+
+@dataclass
+class IngestionResult:
+    """Aggregate outcome of one ingestion run."""
+
+    workload_name: str
+    policy_name: str
+    start_time: float
+    end_time: float
+    segments_total: int = 0
+    segments_dropped: int = 0
+    total_true_quality: float = 0.0
+    total_reported_quality: float = 0.0
+    total_weighted_quality: float = 0.0
+    total_quality_weight: float = 0.0
+    total_entities: float = 0.0
+    on_prem_core_seconds: float = 0.0
+    cloud_core_seconds: float = 0.0
+    cloud_dollars: float = 0.0
+    peak_buffer_bytes: int = 0
+    overflowed: bool = False
+    overflow_count: int = 0
+    configuration_usage: Dict[str, int] = field(default_factory=dict)
+    switch_count: int = 0
+    traces: List[SegmentTrace] = field(default_factory=list)
+
+    @property
+    def mean_true_quality(self) -> float:
+        if self.segments_total == 0:
+            return 0.0
+        return self.total_true_quality / self.segments_total
+
+    @property
+    def mean_reported_quality(self) -> float:
+        if self.segments_total == 0:
+            return 0.0
+        return self.total_reported_quality / self.segments_total
+
+    @property
+    def weighted_quality(self) -> float:
+        """Entity-weighted quality: the paper's quality metrics weight segments
+        by how much there is to extract (person-seconds, live streams), so a
+        system that only does well on empty night-time content scores low."""
+        if self.total_quality_weight <= 0:
+            return self.mean_true_quality
+        return self.total_weighted_quality / self.total_quality_weight
+
+    @property
+    def total_work_core_seconds(self) -> float:
+        return self.on_prem_core_seconds + self.cloud_core_seconds
+
+
+class IngestionEngine:
+    """Runs one V-ETL ingestion with a given policy.
+
+    Args:
+        workload: the user's V-ETL job.
+        source: the video source to ingest.
+        cluster: provisioned on-premise hardware.
+        cloud: cloud specification, including the optional daily budget.
+        buffer_capacity_bytes: size of the video buffer (Equation 1's ``B``).
+        keep_traces: whether to record per-segment traces (needed for the
+            Figure 3 style plots; disable for large sweeps to save memory).
+        on_overflow: ``"drop"`` records the overflow, drops the segment and
+            continues (how the evaluation treats Chameleon* crashes);
+            ``"raise"`` raises :class:`BufferOverflowError` immediately.
+    """
+
+    def __init__(
+        self,
+        workload: VETLWorkload,
+        source: SyntheticVideoSource,
+        cluster: ClusterSpec,
+        cloud: Optional[CloudSpec] = None,
+        buffer_capacity_bytes: int = 4_000_000_000,
+        keep_traces: bool = True,
+        on_overflow: str = "drop",
+    ):
+        if on_overflow not in ("drop", "raise"):
+            raise ConfigurationError("on_overflow must be 'drop' or 'raise'")
+        self.workload = workload
+        self.source = source
+        self.cluster = cluster
+        self.cloud = cloud or CloudSpec()
+        self.buffer_capacity_bytes = int(buffer_capacity_bytes)
+        self.keep_traces = keep_traces
+        self.on_overflow = on_overflow
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self, policy: Policy, start_time: float, end_time: float) -> IngestionResult:
+        """Ingest the stream from ``start_time`` to ``end_time`` with ``policy``."""
+        if end_time <= start_time:
+            raise ConfigurationError("end_time must be after start_time")
+        result = IngestionResult(
+            workload_name=self.workload.name,
+            policy_name=policy.name,
+            start_time=start_time,
+            end_time=end_time,
+        )
+
+        runtime_scale = getattr(self.workload, "runtime_scale", None)
+        quality_weight = getattr(self.workload, "quality_weight", None)
+        daily_budget = self.cloud.daily_budget_dollars
+        cloud_spend_by_day: Dict[int, float] = {}
+
+        # Segments whose processing has not finished yet: (finish_time, bytes).
+        unfinished: Deque[Tuple[float, int]] = deque()
+        unfinished_bytes = 0
+        busy_until = start_time
+        last_reported_quality = 1.0
+        last_configuration_index = 0
+        last_decision_index: Optional[int] = None
+
+        for segment in self.source.segments(start_time, end_time):
+            arrival = segment.end_time
+            # Retire segments that finished before this one arrived.
+            while unfinished and unfinished[0][0] <= arrival:
+                _, retired_bytes = unfinished.popleft()
+                unfinished_bytes -= retired_bytes
+            backlog_before = unfinished_bytes
+
+            result.segments_total += 1
+            weight = float(quality_weight(segment)) if quality_weight is not None else 1.0
+            result.total_quality_weight += weight
+            # Overflow check at arrival (Equation 1).
+            if backlog_before + segment.encoded_bytes > self.buffer_capacity_bytes:
+                result.overflowed = True
+                result.overflow_count += 1
+                if self.on_overflow == "raise":
+                    from repro.errors import BufferOverflowError
+
+                    raise BufferOverflowError(
+                        requested_bytes=segment.encoded_bytes,
+                        free_bytes=self.buffer_capacity_bytes - backlog_before,
+                        capacity_bytes=self.buffer_capacity_bytes,
+                    )
+                result.segments_dropped += 1
+                if self.keep_traces:
+                    result.traces.append(
+                        SegmentTrace(
+                            segment_index=segment.segment_index,
+                            arrival_time=arrival,
+                            start_time=arrival,
+                            finish_time=arrival,
+                            configuration_index=-1,
+                            configuration_label="<dropped>",
+                            cloud_tasks=0,
+                            runtime_seconds=0.0,
+                            work_core_seconds=0.0,
+                            cloud_dollars=0.0,
+                            reported_quality=0.0,
+                            true_quality=0.0,
+                            buffer_bytes=backlog_before,
+                            dropped=True,
+                        )
+                    )
+                continue
+
+            occupancy = backlog_before + segment.encoded_bytes
+            result.peak_buffer_bytes = max(result.peak_buffer_bytes, occupancy)
+
+            decision_time = max(arrival, busy_until)
+            day_index = int(decision_time // SECONDS_PER_DAY)
+            spent_today = cloud_spend_by_day.get(day_index, 0.0)
+            cloud_remaining = (
+                float("inf") if daily_budget is None else max(daily_budget - spent_today, 0.0)
+            )
+
+            bytes_per_second = self.source.bytes_per_second(segment.content)
+            lag_seconds = max(decision_time - arrival, 0.0)
+            # The policy decides when the cluster frees up, which can be well
+            # after this segment arrived; by then more video has arrived, so
+            # estimate the occupancy the policy will actually face.
+            estimated_backlog = int(occupancy + lag_seconds * bytes_per_second)
+            context = DecisionContext(
+                segment=segment,
+                decision_time=decision_time,
+                backlog_bytes=min(estimated_backlog, self.buffer_capacity_bytes),
+                buffer_capacity_bytes=self.buffer_capacity_bytes,
+                bytes_per_second=bytes_per_second,
+                lag_seconds=lag_seconds,
+                cloud_budget_remaining=cloud_remaining,
+                last_reported_quality=last_reported_quality,
+                last_configuration_index=last_configuration_index,
+                segments_processed=result.segments_total - 1,
+            )
+            decision = policy.decide(context)
+            placement = decision.placement
+
+            # Enforce the cloud budget even for policies that ignore it.
+            if placement.cloud_dollars > cloud_remaining:
+                placement = decision.profile.on_prem_placement
+
+            scale = 1.0
+            if runtime_scale is not None:
+                scale = float(runtime_scale(decision.profile.configuration, segment))
+            runtime = placement.runtime_seconds * scale
+            extra = decision.extra_work_core_seconds
+            runtime += extra / self.cluster.cores
+
+            start = decision_time
+            finish = start + runtime
+            busy_until = finish
+            unfinished.append((finish, segment.encoded_bytes))
+            unfinished_bytes += segment.encoded_bytes
+
+            outcome = self.workload.evaluate(decision.profile.configuration, segment)
+            policy.observe(outcome, decision)
+
+            cloud_dollars = placement.cloud_dollars * scale
+            cloud_spend_by_day[day_index] = spent_today + cloud_dollars
+            on_prem_work = placement.on_prem_core_seconds * scale + extra
+            cloud_work = placement.cloud_core_seconds * scale
+
+            result.total_true_quality += outcome.true_quality
+            result.total_reported_quality += outcome.reported_quality
+            result.total_weighted_quality += outcome.true_quality * weight
+            result.total_entities += outcome.entities
+            result.on_prem_core_seconds += on_prem_work
+            result.cloud_core_seconds += cloud_work
+            result.cloud_dollars += cloud_dollars
+            label = decision.profile.configuration.short_label()
+            result.configuration_usage[label] = result.configuration_usage.get(label, 0) + 1
+            if last_decision_index is not None and decision.configuration_index != last_decision_index:
+                result.switch_count += 1
+            last_decision_index = decision.configuration_index
+
+            last_reported_quality = outcome.reported_quality
+            last_configuration_index = decision.configuration_index
+
+            if self.keep_traces:
+                result.traces.append(
+                    SegmentTrace(
+                        segment_index=segment.segment_index,
+                        arrival_time=arrival,
+                        start_time=start,
+                        finish_time=finish,
+                        configuration_index=decision.configuration_index,
+                        configuration_label=label,
+                        cloud_tasks=placement.cloud_task_count,
+                        runtime_seconds=runtime,
+                        work_core_seconds=on_prem_work + cloud_work,
+                        cloud_dollars=cloud_dollars,
+                        reported_quality=outcome.reported_quality,
+                        true_quality=outcome.true_quality,
+                        buffer_bytes=occupancy,
+                        category=int(decision.metadata.get("category", -1))
+                        if "category" in decision.metadata
+                        else None,
+                    )
+                )
+
+        return result

@@ -1,0 +1,212 @@
+"""The content-distribution forecasting model (Section 3.3, Appendices H/K).
+
+The forecaster predicts how often each content category will appear over the
+next *planned interval*, given the category histograms of the recent past.
+Inputs are ``n_splits`` histograms covering the last ``input_seconds``;
+the target is the single histogram over the following ``output_seconds``.
+The model is the small feed-forward network of Appendix K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml.metrics import mean_absolute_error
+from repro.ml.mlp import MLP, MLPConfig
+
+
+@dataclass
+class ForecastDataset:
+    """Supervised training data for the forecaster.
+
+    Attributes:
+        inputs: ``(n_samples, n_splits * n_categories)`` flattened input
+            histograms.
+        targets: ``(n_samples, n_categories)`` target histograms.
+        n_categories: number of content categories.
+        n_splits: number of input histograms per sample.
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    n_categories: int
+    n_splits: int
+
+    def __len__(self) -> int:
+        return self.inputs.shape[0]
+
+    @staticmethod
+    def from_labels(
+        labels: Sequence[int],
+        n_categories: int,
+        label_period_seconds: float,
+        input_seconds: float,
+        output_seconds: float,
+        n_splits: int,
+        stride_seconds: Optional[float] = None,
+    ) -> "ForecastDataset":
+        """Build input/target pairs from a per-segment category label series.
+
+        Args:
+            labels: content-category label of every consecutive segment.
+            n_categories: number of content categories.
+            label_period_seconds: time covered by one label (segment length).
+            input_seconds: length of the model's look-back window (``t_in``).
+            output_seconds: length of the planned interval (``t_out``).
+            n_splits: how many histograms the look-back window is split into.
+            stride_seconds: spacing between consecutive training samples; the
+                paper creates one sample every 15 minutes (Appendix K.1).
+        """
+        if n_splits < 1:
+            raise ConfigurationError("n_splits must be at least 1")
+        if label_period_seconds <= 0:
+            raise ConfigurationError("label_period_seconds must be positive")
+        if input_seconds <= 0 or output_seconds <= 0:
+            raise ConfigurationError("input_seconds and output_seconds must be positive")
+        label_array = np.asarray(labels, dtype=int)
+        if label_array.ndim != 1:
+            raise ConfigurationError("labels must be a 1-D sequence")
+
+        labels_per_input = int(round(input_seconds / label_period_seconds))
+        labels_per_output = int(round(output_seconds / label_period_seconds))
+        labels_per_split = max(labels_per_input // n_splits, 1)
+        labels_per_input = labels_per_split * n_splits
+        if labels_per_input + labels_per_output > label_array.size:
+            raise ConfigurationError(
+                "not enough labels to build a single forecasting sample: need "
+                f"{labels_per_input + labels_per_output}, have {label_array.size}"
+            )
+        if stride_seconds is None:
+            stride_seconds = 15 * 60.0
+        stride_labels = max(int(round(stride_seconds / label_period_seconds)), 1)
+
+        inputs: List[np.ndarray] = []
+        targets: List[np.ndarray] = []
+        position = labels_per_input
+        while position + labels_per_output <= label_array.size:
+            window = label_array[position - labels_per_input : position]
+            split_histograms = [
+                _histogram(window[start : start + labels_per_split], n_categories)
+                for start in range(0, labels_per_input, labels_per_split)
+            ]
+            target_window = label_array[position : position + labels_per_output]
+            inputs.append(np.concatenate(split_histograms))
+            targets.append(_histogram(target_window, n_categories))
+            position += stride_labels
+
+        return ForecastDataset(
+            inputs=np.array(inputs),
+            targets=np.array(targets),
+            n_categories=n_categories,
+            n_splits=n_splits,
+        )
+
+    def split(self, train_fraction: float) -> Tuple["ForecastDataset", "ForecastDataset"]:
+        """Chronological train/test split (no shuffling: this is a time series)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ConfigurationError("train_fraction must be in (0, 1)")
+        cut = int(round(len(self) * train_fraction))
+        cut = min(max(cut, 1), len(self) - 1)
+        first = ForecastDataset(
+            self.inputs[:cut], self.targets[:cut], self.n_categories, self.n_splits
+        )
+        second = ForecastDataset(
+            self.inputs[cut:], self.targets[cut:], self.n_categories, self.n_splits
+        )
+        return first, second
+
+
+def _histogram(labels: np.ndarray, n_categories: int) -> np.ndarray:
+    counts = np.bincount(labels, minlength=n_categories)[:n_categories].astype(float)
+    total = counts.sum()
+    if total <= 0:
+        return np.full(n_categories, 1.0 / n_categories)
+    return counts / total
+
+
+class ContentForecaster:
+    """Feed-forward forecaster over content-category histograms.
+
+    Args:
+        n_categories: number of content categories.
+        n_splits: number of input histograms (default 8, Appendix I).
+        config: optional MLP hyperparameters; the default reproduces the
+            ``16 ReLU -> 8 ReLU -> softmax`` architecture of Appendix K.
+    """
+
+    def __init__(
+        self,
+        n_categories: int,
+        n_splits: int = 8,
+        config: Optional[MLPConfig] = None,
+    ):
+        if n_categories < 1:
+            raise ConfigurationError("n_categories must be at least 1")
+        if n_splits < 1:
+            raise ConfigurationError("n_splits must be at least 1")
+        self.n_categories = n_categories
+        self.n_splits = n_splits
+        self.config = config or MLPConfig()
+        self._network = MLP(
+            input_size=n_categories * n_splits, output_size=n_categories, config=self.config
+        )
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(self, dataset: ForecastDataset, epochs: Optional[int] = None):
+        """Train (or fine-tune) on a :class:`ForecastDataset`."""
+        if dataset.n_categories != self.n_categories or dataset.n_splits != self.n_splits:
+            raise ConfigurationError(
+                "dataset shape does not match the forecaster "
+                f"(categories {dataset.n_categories} vs {self.n_categories}, "
+                f"splits {dataset.n_splits} vs {self.n_splits})"
+            )
+        return self._network.fit(dataset.inputs, dataset.targets, epochs=epochs)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._network.is_fitted
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+    def predict(self, recent_histograms: Sequence[Sequence[float]]) -> np.ndarray:
+        """Forecast the content distribution of the next planned interval.
+
+        Args:
+            recent_histograms: ``n_splits`` category histograms covering the
+                recent past, oldest first.
+        """
+        self._network.require_fitted()
+        histograms = np.asarray(recent_histograms, dtype=float)
+        if histograms.shape != (self.n_splits, self.n_categories):
+            raise ConfigurationError(
+                f"expected {self.n_splits} histograms of {self.n_categories} categories, "
+                f"got shape {histograms.shape}"
+            )
+        flattened = histograms.reshape(-1)
+        prediction = self._network.predict(flattened)
+        prediction = np.clip(prediction, 0.0, None)
+        total = prediction.sum()
+        if total <= 0:
+            return np.full(self.n_categories, 1.0 / self.n_categories)
+        return prediction / total
+
+    def predict_dataset(self, dataset: ForecastDataset) -> np.ndarray:
+        """Predictions for every sample of a dataset (normalized histograms)."""
+        self._network.require_fitted()
+        raw = self._network.predict(dataset.inputs)
+        raw = np.clip(raw, 0.0, None)
+        sums = raw.sum(axis=1, keepdims=True)
+        sums[sums <= 0] = 1.0
+        return raw / sums
+
+    def evaluate_mae(self, dataset: ForecastDataset) -> float:
+        """Mean absolute error over a held-out dataset (the Table 5/6 metric)."""
+        predictions = self.predict_dataset(dataset)
+        return mean_absolute_error(predictions, dataset.targets)

@@ -1,0 +1,66 @@
+"""Interfaces between Skyscraper's core and user-defined V-ETL jobs.
+
+The paper keeps Skyscraper agnostic to the UDFs: the system only ever sees a
+task graph to execute and a quality number reported back by the user code
+(Section 2.2, Appendix F).  These protocol classes capture exactly that
+boundary; every workload in :mod:`repro.workloads` implements
+:class:`VETLWorkload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.core.knobs import KnobConfiguration, KnobSpace
+from repro.video.frame import VideoSegment
+from repro.vision.dag import TaskGraph
+
+
+@dataclass
+class SegmentOutcome:
+    """What processing one segment with one configuration produced.
+
+    Attributes:
+        reported_quality: the quality metric computed and returned by the
+            user code (certainties, tracking failures, ...) in [0, 1].  This
+            is the only quality signal Skyscraper itself may observe.
+        true_quality: ground-truth quality in [0, 1] used exclusively by the
+            evaluation harness (the system never reads it).
+        entities: number of entities extracted from the segment.
+        warehouse_rows: rows to load into the warehouse tables, keyed by
+            table kind (``"detections"``, ``"tracks"``, ``"sentiments"``).
+    """
+
+    reported_quality: float
+    true_quality: float
+    entities: float = 0.0
+    warehouse_rows: Dict[str, List[Any]] = field(default_factory=dict)
+
+
+@runtime_checkable
+class VETLWorkload(Protocol):
+    """A user-defined V-ETL job: knobs, a task graph per configuration, quality.
+
+    Implementations must be deterministic given (configuration, segment) so
+    offline profiling and online ingestion agree.
+    """
+
+    name: str
+    knob_space: KnobSpace
+
+    def build_task_graph(
+        self, configuration: KnobConfiguration, segment: VideoSegment
+    ) -> TaskGraph:
+        """The DAG of UDF invocations that processes ``segment`` with ``configuration``."""
+        ...
+
+    def evaluate(
+        self, configuration: KnobConfiguration, segment: VideoSegment
+    ) -> SegmentOutcome:
+        """Process ``segment`` with ``configuration`` and report the outcome."""
+        ...
+
+    def representative_segment(self) -> VideoSegment:
+        """A typical segment used for profiling runtimes and placements."""
+        ...

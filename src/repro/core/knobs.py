@@ -1,0 +1,202 @@
+"""Knobs, knob configurations and the registered knob space.
+
+Users register arbitrary knobs together with a value domain (Section 2.1,
+Appendix F).  A knob configuration instantiates every registered knob with one
+value from its domain; Skyscraper tunes which configuration processes which
+video segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Knob:
+    """A registered knob.
+
+    Attributes:
+        name: knob name, e.g. ``"frame_rate"`` or ``"det_interval"``.
+        domain: ordered value domain; by convention cheaper values first, but
+            any order is accepted (the offline phase profiles actual costs).
+    """
+
+    name: str
+    domain: Tuple[Hashable, ...]
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("knob name must be non-empty")
+        if not self.domain:
+            raise ConfigurationError(f"knob {self.name!r} needs a non-empty domain")
+        if len(set(self.domain)) != len(self.domain):
+            raise ConfigurationError(f"knob {self.name!r} has duplicate domain values")
+
+    def index_of(self, value: Hashable) -> int:
+        """Position of ``value`` in the domain; raises if absent."""
+        try:
+            return self.domain.index(value)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"value {value!r} is not in the domain of knob {self.name!r}"
+            ) from exc
+
+    def validate(self, value: Hashable) -> Hashable:
+        self.index_of(value)
+        return value
+
+
+@dataclass(frozen=True)
+class KnobConfiguration:
+    """An assignment of one value to every registered knob.
+
+    Configurations are hashable and compare by value, so they can be used as
+    dictionary keys throughout the planner, switcher and profiles.
+    """
+
+    values: Tuple[Tuple[str, Hashable], ...]
+
+    @classmethod
+    def from_dict(cls, values: Mapping[str, Hashable]) -> "KnobConfiguration":
+        return cls(values=tuple(sorted(values.items())))
+
+    def __getitem__(self, knob_name: str) -> Hashable:
+        for name, value in self.values:
+            if name == knob_name:
+                return value
+        raise ConfigurationError(f"configuration has no knob {knob_name!r}")
+
+    def get(self, knob_name: str, default: Hashable = None) -> Hashable:
+        for name, value in self.values:
+            if name == knob_name:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, Hashable]:
+        return dict(self.values)
+
+    def with_value(self, knob_name: str, value: Hashable) -> "KnobConfiguration":
+        """A copy of this configuration with one knob changed."""
+        updated = self.as_dict()
+        if knob_name not in updated:
+            raise ConfigurationError(f"configuration has no knob {knob_name!r}")
+        updated[knob_name] = value
+        return KnobConfiguration.from_dict(updated)
+
+    @property
+    def knob_names(self) -> List[str]:
+        return [name for name, _ in self.values]
+
+    def short_label(self) -> str:
+        """Compact human-readable label (used in traces and benchmark output)."""
+        return ",".join(f"{name}={value}" for name, value in self.values)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.short_label()
+
+
+class KnobSpace:
+    """The set of registered knobs and the cross product of their domains."""
+
+    def __init__(self, knobs: Sequence[Knob] = ()):
+        self._knobs: Dict[str, Knob] = {}
+        for knob in knobs:
+            self.register(knob)
+
+    def register(self, knob: Knob) -> None:
+        """Register a knob; the name must be unique."""
+        if knob.name in self._knobs:
+            raise ConfigurationError(f"knob {knob.name!r} registered twice")
+        self._knobs[knob.name] = knob
+
+    def register_knob(self, name: str, domain: Sequence[Hashable]) -> Knob:
+        """Convenience mirroring the paper's ``sky.register_knob(name, domain)``."""
+        knob = Knob(name=name, domain=tuple(domain))
+        self.register(knob)
+        return knob
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._knobs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._knobs
+
+    @property
+    def knob_names(self) -> List[str]:
+        return list(self._knobs)
+
+    @property
+    def knobs(self) -> List[Knob]:
+        return list(self._knobs.values())
+
+    def knob(self, name: str) -> Knob:
+        if name not in self._knobs:
+            raise ConfigurationError(f"unknown knob {name!r}")
+        return self._knobs[name]
+
+    @property
+    def size(self) -> int:
+        """Number of configurations in the full cross product."""
+        total = 1
+        for knob in self._knobs.values():
+            total *= len(knob.domain)
+        return total if self._knobs else 0
+
+    # ------------------------------------------------------------------ #
+    # Configurations
+    # ------------------------------------------------------------------ #
+    def configuration(self, **values: Hashable) -> KnobConfiguration:
+        """Build and validate a configuration from keyword arguments."""
+        return self.validate_configuration(KnobConfiguration.from_dict(values))
+
+    def validate_configuration(self, configuration: KnobConfiguration) -> KnobConfiguration:
+        """Check that a configuration covers every knob with a legal value."""
+        provided = configuration.as_dict()
+        missing = [name for name in self._knobs if name not in provided]
+        if missing:
+            raise ConfigurationError(f"configuration misses knobs: {missing}")
+        unknown = [name for name in provided if name not in self._knobs]
+        if unknown:
+            raise ConfigurationError(f"configuration has unknown knobs: {unknown}")
+        for name, value in provided.items():
+            self._knobs[name].validate(value)
+        return configuration
+
+    def all_configurations(self) -> Iterator[KnobConfiguration]:
+        """Iterate over the full cross product of knob domains."""
+        if not self._knobs:
+            return iter(())
+        names = list(self._knobs)
+        domains = [self._knobs[name].domain for name in names]
+
+        def generate(prefix: Dict[str, Hashable], depth: int) -> Iterator[KnobConfiguration]:
+            if depth == len(names):
+                yield KnobConfiguration.from_dict(prefix)
+                return
+            for value in domains[depth]:
+                prefix[names[depth]] = value
+                yield from generate(prefix, depth + 1)
+            prefix.pop(names[depth], None)
+
+        return generate({}, 0)
+
+    def domains_in_order(self) -> List[Tuple[Hashable, ...]]:
+        """Knob domains ordered like :attr:`knob_names` (for hill climbing)."""
+        return [self._knobs[name].domain for name in self._knobs]
+
+    def configuration_from_tuple(self, values: Sequence[Hashable]) -> KnobConfiguration:
+        """Configuration from a value tuple ordered like :attr:`knob_names`."""
+        names = list(self._knobs)
+        if len(values) != len(names):
+            raise ConfigurationError(
+                f"expected {len(names)} knob values, got {len(values)}"
+            )
+        return self.validate_configuration(
+            KnobConfiguration.from_dict(dict(zip(names, values)))
+        )

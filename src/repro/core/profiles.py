@@ -1,0 +1,197 @@
+"""Profiled behaviour of knob configurations.
+
+After the offline phase, each knob configuration is characterized by (a) the
+runtimes and cloud costs of its Pareto-good task placements on the provisioned
+hardware, and (b) the quality it achieves on each content category (Section
+2.2).  The planner and the switcher work exclusively on these profiles — they
+never look at the UDFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.cluster.profiler import PlacementProfile, profile_placements
+from repro.cluster.resources import CloudSpec
+from repro.core.interfaces import VETLWorkload
+from repro.core.knobs import KnobConfiguration
+
+
+@dataclass
+class ConfigurationProfile:
+    """Offline-measured characteristics of one knob configuration.
+
+    Attributes:
+        configuration: the knob configuration.
+        placements: Pareto-good placements of its task graph, cheapest cloud
+            spend first (the fully on-premise placement when it exists).
+        mean_quality: average reported quality over the profiling sample
+            (used by the configuration filter; per-category qualities come
+            from the categorizer).
+        category_quality: average quality per content category index, filled
+            in after the categorizer ran.
+    """
+
+    configuration: KnobConfiguration
+    placements: List[PlacementProfile]
+    mean_quality: float = 0.0
+    category_quality: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.placements:
+            raise ConfigurationError(
+                f"configuration {self.configuration.short_label()} has no placements"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def on_prem_placement(self) -> PlacementProfile:
+        """The placement that uses no cloud resources (always profiled)."""
+        for placement in self.placements:
+            if placement.is_fully_on_prem:
+                return placement
+        # Fall back to the placement with the lowest cloud spend.
+        return min(self.placements, key=lambda placement: placement.cloud_dollars)
+
+    @property
+    def fastest_placement(self) -> PlacementProfile:
+        return min(self.placements, key=lambda placement: placement.runtime_seconds)
+
+    @property
+    def work_core_seconds(self) -> float:
+        """Single-core work of processing one segment fully on premises."""
+        on_prem = self.on_prem_placement
+        return on_prem.on_prem_core_seconds + on_prem.cloud_core_seconds
+
+    @property
+    def min_runtime_seconds(self) -> float:
+        """Runtime of the fastest placement (cloud bursting included)."""
+        return self.fastest_placement.runtime_seconds
+
+    def quality_for_category(self, category: int) -> float:
+        """Average quality of this configuration on a content category."""
+        if category not in self.category_quality:
+            raise NotFittedError(
+                f"category {category} quality unknown for configuration "
+                f"{self.configuration.short_label()}"
+            )
+        return self.category_quality[category]
+
+    def placements_by_cloud_cost(self) -> List[PlacementProfile]:
+        return sorted(self.placements, key=lambda placement: placement.cloud_dollars)
+
+
+class ProfileSet:
+    """The profiles of every knob configuration that survived filtering.
+
+    The set fixes a canonical configuration order, which defines the
+    dimensions of quality vectors and of the planner's decision variables.
+    """
+
+    def __init__(self, profiles: Sequence[ConfigurationProfile]):
+        if not profiles:
+            raise ConfigurationError("a ProfileSet needs at least one profile")
+        self._profiles = list(profiles)
+        self._index: Dict[KnobConfiguration, int] = {
+            profile.configuration: index for index, profile in enumerate(self._profiles)
+        }
+        if len(self._index) != len(self._profiles):
+            raise ConfigurationError("duplicate configurations in ProfileSet")
+
+    # ------------------------------------------------------------------ #
+    # Basic access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self):
+        return iter(self._profiles)
+
+    def __getitem__(self, index: int) -> ConfigurationProfile:
+        return self._profiles[index]
+
+    @property
+    def configurations(self) -> List[KnobConfiguration]:
+        return [profile.configuration for profile in self._profiles]
+
+    def index_of(self, configuration: KnobConfiguration) -> int:
+        if configuration not in self._index:
+            raise ConfigurationError(
+                f"configuration {configuration.short_label()} is not in the profile set"
+            )
+        return self._index[configuration]
+
+    def profile(self, configuration: KnobConfiguration) -> ConfigurationProfile:
+        return self._profiles[self.index_of(configuration)]
+
+    # ------------------------------------------------------------------ #
+    # Orderings used by the switcher
+    # ------------------------------------------------------------------ #
+    def by_quality_descending(self) -> List[ConfigurationProfile]:
+        """Profiles from most to least qualitative (fallback order, Section 4.2)."""
+        return sorted(self._profiles, key=lambda profile: profile.mean_quality, reverse=True)
+
+    def by_work_ascending(self) -> List[ConfigurationProfile]:
+        return sorted(self._profiles, key=lambda profile: profile.work_core_seconds)
+
+    def cheapest(self) -> ConfigurationProfile:
+        """The configuration inducing the least work (``k-`` in Appendix A.1)."""
+        return self.by_work_ascending()[0]
+
+    def most_qualitative(self) -> ConfigurationProfile:
+        """The configuration with the best profiled quality (``k+``)."""
+        return self.by_quality_descending()[0]
+
+    def most_expensive(self) -> ConfigurationProfile:
+        return self.by_work_ascending()[-1]
+
+    def quality_matrix(self, n_categories: int) -> np.ndarray:
+        """``(n_configurations, n_categories)`` matrix of per-category qualities."""
+        matrix = np.zeros((len(self._profiles), n_categories))
+        for config_index, profile in enumerate(self._profiles):
+            for category in range(n_categories):
+                matrix[config_index, category] = profile.quality_for_category(category)
+        return matrix
+
+
+def build_profiles(
+    workload: VETLWorkload,
+    configurations: Sequence[KnobConfiguration],
+    cores: int,
+    cloud: Optional[CloudSpec] = None,
+    mean_qualities: Optional[Mapping[KnobConfiguration, float]] = None,
+) -> ProfileSet:
+    """Profile the task placements of every configuration (Section 3.1).
+
+    Args:
+        workload: the user's V-ETL job.
+        configurations: the filtered configurations to profile.
+        cores: on-premise cores of the provisioned machine.
+        cloud: cloud specification; ``None`` uses the default spec.
+        mean_qualities: optional pre-computed mean qualities (from the
+            filtering step) to attach to the profiles.
+    """
+    if not configurations:
+        raise ConfigurationError("cannot build profiles for zero configurations")
+    segment = workload.representative_segment()
+    profiles: List[ConfigurationProfile] = []
+    for configuration in configurations:
+        graph = workload.build_task_graph(configuration, segment)
+        placements = profile_placements(graph, cores=cores, cloud=cloud)
+        mean_quality = 0.0
+        if mean_qualities is not None and configuration in mean_qualities:
+            mean_quality = float(mean_qualities[configuration])
+        profiles.append(
+            ConfigurationProfile(
+                configuration=configuration,
+                placements=placements,
+                mean_quality=mean_quality,
+            )
+        )
+    return ProfileSet(profiles)

@@ -1,0 +1,407 @@
+"""The user-facing Skyscraper API (Appendix F) and the offline learning phase.
+
+Typical usage mirrors the paper's code snippet::
+
+    workload = CovidWorkload(...)
+    sky = Skyscraper(workload, SkyscraperResources(cores=8, buffer_bytes=4_000_000_000,
+                                                   cloud_budget_per_day=5.0))
+    report = sky.fit(source, unlabeled_days=14)
+    result = sky.ingest(source, start_time=report.online_start, duration=8 * 86_400)
+
+``fit`` runs the offline phase of Section 3 (filter knob configurations and
+placements, build content categories, train the forecaster) and records the
+per-step runtimes reported in Table 3.  ``ingest`` runs the online phase of
+Section 4 through the ingestion engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.cluster.cost import CostModel
+from repro.cluster.resources import CloudSpec, ClusterSpec
+from repro.core.categorizer import ContentCategorizer
+from repro.core.engine import IngestionEngine, IngestionResult
+from repro.core.filtering import (
+    filter_knob_configurations,
+    find_extreme_configurations,
+    sample_diverse_segments,
+)
+from repro.core.forecaster import ContentForecaster, ForecastDataset
+from repro.core.interfaces import VETLWorkload
+from repro.core.knobs import KnobConfiguration
+from repro.core.planner import KnobPlanner
+from repro.core.policy import SkyscraperPolicy
+from repro.core.profiles import ProfileSet, build_profiles
+from repro.video.stream import SyntheticVideoSource
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class SkyscraperResources:
+    """Provisioned resources (``sky.set_resources`` in the paper's API).
+
+    Attributes:
+        cores: on-premise cores.
+        buffer_bytes: video buffer capacity in bytes.
+        cloud_budget_per_day: cloud credits available per day, in dollars
+            (``0`` disables cloud bursting).
+        utilization: fraction of the on-premise cores the planner budgets for
+            (headroom for decode and system overhead).
+    """
+
+    cores: int
+    buffer_bytes: int = 4_000_000_000
+    cloud_budget_per_day: float = 0.0
+    utilization: float = 0.95
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ConfigurationError("cores must be at least 1")
+        if self.buffer_bytes < 0:
+            raise ConfigurationError("buffer_bytes must be non-negative")
+        if self.cloud_budget_per_day < 0:
+            raise ConfigurationError("cloud_budget_per_day must be non-negative")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ConfigurationError("utilization must be in (0, 1]")
+
+    def cluster_spec(self) -> ClusterSpec:
+        return ClusterSpec(cores=self.cores)
+
+    def cloud_spec(self, base: Optional[CloudSpec] = None) -> CloudSpec:
+        base = base or CloudSpec()
+        return CloudSpec(
+            max_concurrency=base.max_concurrency,
+            uplink_bytes_per_second=base.uplink_bytes_per_second,
+            downlink_bytes_per_second=base.downlink_bytes_per_second,
+            round_trip_seconds=base.round_trip_seconds,
+            pricing=base.pricing,
+            daily_budget_dollars=self.cloud_budget_per_day,
+        )
+
+
+@dataclass
+class OfflinePhaseReport:
+    """Artifacts and runtimes of the offline learning phase (Table 3)."""
+
+    kept_configurations: List[KnobConfiguration] = field(default_factory=list)
+    mean_qualities: Dict[KnobConfiguration, float] = field(default_factory=dict)
+    n_placements: int = 0
+    n_categories: int = 0
+    forecast_validation_mae: float = float("nan")
+    initial_forecast: Optional[np.ndarray] = None
+    step_runtimes_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_runtime_seconds(self) -> float:
+        return sum(self.step_runtimes_seconds.values())
+
+
+class Skyscraper:
+    """End-to-end Skyscraper instance for one workload and one provisioning.
+
+    Args:
+        workload: the user's V-ETL job (UDFs, knobs, quality metric).
+        resources: provisioned hardware and cloud budget.
+        n_categories: number of content categories (default 4, Appendix I).
+        switch_period_seconds: knob switching period (default 4 s).
+        planned_interval_seconds: knob planning period (default 2 days).
+        forecaster_splits: number of input histograms of the forecaster.
+        cost_model: converts cloud credits into the planner's core-second
+            budget (footnote 4).
+        seed: seed for the offline phase's sampling.
+    """
+
+    def __init__(
+        self,
+        workload: VETLWorkload,
+        resources: SkyscraperResources,
+        n_categories: int = 4,
+        switch_period_seconds: float = 4.0,
+        planned_interval_seconds: float = 2 * SECONDS_PER_DAY,
+        forecaster_splits: int = 8,
+        categorizer_method: str = "kmeans",
+        cost_model: Optional[CostModel] = None,
+        cloud: Optional[CloudSpec] = None,
+        seed: int = 0,
+    ):
+        self.workload = workload
+        self.resources = resources
+        self.n_categories = n_categories
+        self.switch_period_seconds = switch_period_seconds
+        self.planned_interval_seconds = planned_interval_seconds
+        self.forecaster_splits = forecaster_splits
+        self.categorizer_method = categorizer_method
+        self.cost_model = cost_model or CostModel()
+        self.cloud = resources.cloud_spec(cloud)
+        self.seed = seed
+
+        self.profiles: Optional[ProfileSet] = None
+        self.categorizer: Optional[ContentCategorizer] = None
+        self.forecaster: Optional[ContentForecaster] = None
+        self.report: Optional[OfflinePhaseReport] = None
+
+    # ------------------------------------------------------------------ #
+    # Offline phase (Section 3)
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        source: SyntheticVideoSource,
+        unlabeled_days: float = 14.0,
+        labeled_minutes: float = 20.0,
+        n_search_segments: int = 5,
+        n_presample_segments: int = 200,
+        n_category_samples: int = 300,
+        forecast_label_period_seconds: float = 60.0,
+        forecast_input_days: float = 2.0,
+        max_configurations: int = 8,
+        train_forecaster: bool = True,
+    ) -> OfflinePhaseReport:
+        """Run the offline learning phase on historical data from ``source``.
+
+        The historical recording spans ``[0, unlabeled_days)`` of the source;
+        online ingestion should start after that window so train and test data
+        do not overlap (as in the paper's 16-day-train / 8-day-test split).
+        """
+        report = OfflinePhaseReport()
+        rng = np.random.default_rng(self.seed)
+        segment_seconds = source.segment_seconds
+        unlabeled_end = unlabeled_days * SECONDS_PER_DAY
+
+        # -- Step 1: filter knob configurations (Appendix A.1) ---------- #
+        started = time.perf_counter()
+        labeled_segments = source.record(0.0, labeled_minutes * 60.0)
+        candidate_indices = rng.integers(
+            0, int(unlabeled_end / segment_seconds), size=n_presample_segments
+        )
+        candidates = [source.segment_at(int(index)) for index in sorted(set(candidate_indices.tolist()))]
+        cheapest, best = find_extreme_configurations(self.workload, labeled_segments[:5])
+        search_segments = sample_diverse_segments(
+            self.workload,
+            candidates,
+            n_search=n_search_segments,
+            cheapest=cheapest,
+            best=best,
+            seed=self.seed,
+        )
+        configurations, mean_quality = filter_knob_configurations(
+            self.workload, search_segments, max_configurations=max_configurations
+        )
+        report.kept_configurations = configurations
+        report.mean_qualities = dict(mean_quality)
+        report.step_runtimes_seconds["filter_knob_configurations"] = (
+            time.perf_counter() - started
+        )
+
+        # -- Step 2: profile and filter task placements (Appendix A.2) -- #
+        started = time.perf_counter()
+        self.profiles = build_profiles(
+            self.workload,
+            configurations,
+            cores=self.resources.cores,
+            cloud=self.cloud,
+            mean_qualities=mean_quality,
+        )
+        report.n_placements = sum(len(profile.placements) for profile in self.profiles)
+        report.step_runtimes_seconds["filter_task_placements"] = time.perf_counter() - started
+
+        # -- Step 3: content categories (Section 3.2) -------------------- #
+        started = time.perf_counter()
+        sample_indices = rng.integers(
+            0, int(unlabeled_end / segment_seconds), size=n_category_samples
+        )
+        quality_vectors = []
+        for index in sample_indices:
+            segment = source.segment_at(int(index))
+            quality_vectors.append(
+                [
+                    self.workload.evaluate(profile.configuration, segment).reported_quality
+                    for profile in self.profiles
+                ]
+            )
+        quality_vectors = np.array(quality_vectors)
+        self.categorizer = ContentCategorizer(
+            n_categories=self.n_categories, method=self.categorizer_method, seed=self.seed
+        )
+        self.categorizer.fit(quality_vectors)
+        report.n_categories = self.categorizer.actual_categories
+        for config_index, profile in enumerate(self.profiles):
+            for category in range(self.categorizer.actual_categories):
+                profile.category_quality[category] = self.categorizer.category_quality(
+                    config_index, category
+                )
+        report.step_runtimes_seconds["compute_content_categories"] = (
+            time.perf_counter() - started
+        )
+
+        # -- Step 4: forecasting model (Section 3.3, Appendix H) --------- #
+        started = time.perf_counter()
+        labels = self._label_history(source, 0.0, unlabeled_end, forecast_label_period_seconds)
+        report.step_runtimes_seconds["create_forecast_training_data"] = (
+            time.perf_counter() - started
+        )
+
+        started = time.perf_counter()
+        initial_forecast = self.categorizer.category_histogram(labels)
+        report.initial_forecast = initial_forecast
+        if train_forecaster:
+            dataset = ForecastDataset.from_labels(
+                labels=labels,
+                n_categories=self.categorizer.actual_categories,
+                label_period_seconds=forecast_label_period_seconds,
+                input_seconds=forecast_input_days * SECONDS_PER_DAY,
+                output_seconds=self.planned_interval_seconds,
+                n_splits=self.forecaster_splits,
+            )
+            train_set, validation_set = dataset.split(0.8)
+            self.forecaster = ContentForecaster(
+                n_categories=self.categorizer.actual_categories,
+                n_splits=self.forecaster_splits,
+            )
+            self.forecaster.fit(train_set)
+            report.forecast_validation_mae = self.forecaster.evaluate_mae(validation_set)
+        report.step_runtimes_seconds["train_forecast_model"] = time.perf_counter() - started
+
+        self.report = report
+        return report
+
+    def _label_history(
+        self,
+        source: SyntheticVideoSource,
+        start_time: float,
+        end_time: float,
+        period_seconds: float,
+    ) -> List[int]:
+        """Category label of the content sampled every ``period_seconds``.
+
+        Appendix H: the unlabeled history is processed with the cheapest
+        configuration and classified with the switcher's single-dimension rule.
+        """
+        if self.profiles is None or self.categorizer is None:
+            raise NotFittedError("profiles and categorizer must exist before labeling history")
+        cheapest_profile = self.profiles.cheapest()
+        cheapest_index = self.profiles.index_of(cheapest_profile.configuration)
+        labels: List[int] = []
+        timestamp = start_time
+        while timestamp < end_time:
+            segment = source.segment_at(int(timestamp / source.segment_seconds))
+            outcome = self.workload.evaluate(cheapest_profile.configuration, segment)
+            labels.append(
+                self.categorizer.classify_partial(cheapest_index, outcome.reported_quality)
+            )
+            timestamp += period_seconds
+        return labels
+
+    # ------------------------------------------------------------------ #
+    # Re-provisioning
+    # ------------------------------------------------------------------ #
+    def with_resources(self, resources: SkyscraperResources) -> "Skyscraper":
+        """A copy of this fitted instance provisioned with different hardware.
+
+        Content categories and the forecaster only depend on the video, not on
+        the hardware, so they are shared; the placement profiles (runtimes,
+        cloud costs) are re-measured for the new core count and cloud budget.
+        This is how the evaluation sweeps machine tiers without re-running the
+        whole offline phase.
+        """
+        if self.profiles is None or self.categorizer is None or self.report is None:
+            raise NotFittedError("Skyscraper.fit must run before re-provisioning")
+        clone = Skyscraper(
+            workload=self.workload,
+            resources=resources,
+            n_categories=self.n_categories,
+            switch_period_seconds=self.switch_period_seconds,
+            planned_interval_seconds=self.planned_interval_seconds,
+            forecaster_splits=self.forecaster_splits,
+            categorizer_method=self.categorizer_method,
+            cost_model=self.cost_model,
+            seed=self.seed,
+        )
+        clone.categorizer = self.categorizer
+        clone.forecaster = self.forecaster
+        clone.report = self.report
+        clone.profiles = build_profiles(
+            self.workload,
+            self.report.kept_configurations,
+            cores=resources.cores,
+            cloud=clone.cloud,
+            mean_qualities=self.report.mean_qualities,
+        )
+        for config_index, profile in enumerate(clone.profiles):
+            for category in range(self.categorizer.actual_categories):
+                profile.category_quality[category] = self.categorizer.category_quality(
+                    config_index, category
+                )
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Online phase (Section 4)
+    # ------------------------------------------------------------------ #
+    def budget_core_seconds_per_segment(self, segment_seconds: float) -> float:
+        """The planner's per-segment budget (footnote 4).
+
+        On-premise capacity contributes ``cores * segment_seconds`` scaled by
+        the utilization headroom; the daily cloud credits are converted to
+        core-seconds through the cost model's cloud price per core-second.
+        """
+        on_prem = self.resources.cores * segment_seconds * self.resources.utilization
+        cloud_dollars_per_core_second = self.cost_model.cloud_work_dollars(1.0)
+        segments_per_day = SECONDS_PER_DAY / segment_seconds
+        cloud_core_seconds = 0.0
+        if self.resources.cloud_budget_per_day > 0 and cloud_dollars_per_core_second > 0:
+            cloud_core_seconds = (
+                self.resources.cloud_budget_per_day
+                / cloud_dollars_per_core_second
+                / segments_per_day
+            )
+        return on_prem + cloud_core_seconds
+
+    def build_policy(self, segment_seconds: float) -> SkyscraperPolicy:
+        """Construct the online policy from the offline artifacts."""
+        if self.profiles is None or self.categorizer is None or self.report is None:
+            raise NotFittedError("Skyscraper.fit must run before building the online policy")
+        planner = KnobPlanner(self.profiles, self.categorizer.actual_categories)
+        initial_forecast = self.report.initial_forecast
+        if initial_forecast is None:
+            initial_forecast = np.full(
+                self.categorizer.actual_categories, 1.0 / self.categorizer.actual_categories
+            )
+        return SkyscraperPolicy(
+            profiles=self.profiles,
+            categorizer=self.categorizer,
+            planner=planner,
+            initial_forecast=initial_forecast,
+            budget_core_seconds_per_segment=self.budget_core_seconds_per_segment(segment_seconds),
+            segment_duration=segment_seconds,
+            buffer_capacity_bytes=self.resources.buffer_bytes,
+            forecaster=self.forecaster,
+            switch_period_seconds=self.switch_period_seconds,
+            planned_interval_seconds=self.planned_interval_seconds,
+        )
+
+    def ingest(
+        self,
+        source: SyntheticVideoSource,
+        start_time: float,
+        duration: float,
+        keep_traces: bool = True,
+    ) -> IngestionResult:
+        """Ingest ``duration`` seconds of live video starting at ``start_time``."""
+        if self.profiles is None:
+            raise NotFittedError("Skyscraper.fit must run before ingesting")
+        policy = self.build_policy(source.segment_seconds)
+        engine = IngestionEngine(
+            workload=self.workload,
+            source=source,
+            cluster=self.resources.cluster_spec(),
+            cloud=self.cloud,
+            buffer_capacity_bytes=self.resources.buffer_bytes,
+            keep_traces=keep_traces,
+        )
+        return engine.run(policy, start_time, start_time + duration)

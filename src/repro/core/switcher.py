@@ -1,0 +1,226 @@
+"""The reactive knob switcher (Section 4.2).
+
+Every few seconds the switcher determines the current content category from
+the quality reported by the configuration that just ran (Equation 5), looks
+the category up in the knob plan, picks the configuration that keeps the
+realized usage histogram closest to the planned one (Equation 6), and chooses
+the cheapest task placement that does not overflow the buffer.  If no
+placement of the chosen configuration can avoid an overflow, the switcher
+recursively falls back to the next less qualitative configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.cluster.profiler import PlacementProfile
+from repro.core.categorizer import ContentCategorizer
+from repro.core.planner import KnobPlan
+from repro.core.profiles import ConfigurationProfile, ProfileSet
+
+
+@dataclass
+class SwitchDecision:
+    """The switcher's choice for the next chunk of video.
+
+    Attributes:
+        configuration_index: index of the chosen configuration in the profile
+            set's canonical order.
+        profile: the chosen configuration's profile.
+        placement: the chosen task placement.
+        category: content category the current content was classified into.
+        fell_back: whether the switcher had to deviate from the planned
+            configuration to avoid a buffer overflow.
+        planned_configuration_index: the configuration Equation 6 selected
+            before any overflow fallback.
+    """
+
+    configuration_index: int
+    profile: ConfigurationProfile
+    placement: PlacementProfile
+    category: int
+    fell_back: bool
+    planned_configuration_index: int
+
+
+class KnobSwitcher:
+    """Reactive per-segment configuration and placement selection.
+
+    Args:
+        profiles: the filtered, profiled knob configurations.
+        categorizer: fitted content categorizer.
+        plan: the current knob plan (replaced by :meth:`update_plan` when the
+            planner re-runs).
+        segment_duration: length of the video chunk one decision covers, in
+            seconds of video.
+        buffer_capacity_bytes: capacity of the video buffer.
+        safety_margin: fraction of the buffer the switcher refuses to exceed
+            when predicting occupancy (guards against runtime underestimates).
+    """
+
+    def __init__(
+        self,
+        profiles: ProfileSet,
+        categorizer: ContentCategorizer,
+        plan: KnobPlan,
+        segment_duration: float,
+        buffer_capacity_bytes: int,
+        safety_margin: float = 0.98,
+    ):
+        if segment_duration <= 0:
+            raise ConfigurationError("segment_duration must be positive")
+        if buffer_capacity_bytes < 0:
+            raise ConfigurationError("buffer_capacity_bytes must be non-negative")
+        if not 0.0 < safety_margin <= 1.0:
+            raise ConfigurationError("safety_margin must be in (0, 1]")
+        self.profiles = profiles
+        self.categorizer = categorizer
+        self.plan = plan
+        self.segment_duration = segment_duration
+        self.buffer_capacity_bytes = buffer_capacity_bytes
+        self.safety_margin = safety_margin
+
+        n_configurations = len(profiles)
+        n_categories = categorizer.actual_categories
+        # Realized usage counts per category (the paper's alpha-hat).
+        self._usage_counts = np.zeros((n_categories, n_configurations))
+        #: category label history as (timestamp, category) pairs, consumed by
+        #: the planner's forecaster.
+        self.category_history: List[Tuple[float, int]] = []
+        #: ordering from most to least qualitative used for overflow fallback.
+        self._quality_order = [
+            profiles.index_of(profile.configuration)
+            for profile in profiles.by_quality_descending()
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Plan management
+    # ------------------------------------------------------------------ #
+    def update_plan(self, plan: KnobPlan) -> None:
+        """Install a freshly computed knob plan (every planned interval)."""
+        self.plan = plan
+
+    def realized_histogram(self, category: int) -> np.ndarray:
+        """Observed configuration usage for a category, normalized."""
+        counts = self._usage_counts[category]
+        total = counts.sum()
+        if total <= 0:
+            return np.zeros_like(counts)
+        return counts / total
+
+    # ------------------------------------------------------------------ #
+    # Decision
+    # ------------------------------------------------------------------ #
+    def decide(
+        self,
+        observed_quality: float,
+        current_configuration_index: int,
+        backlog_bytes: int,
+        bytes_per_second: float,
+        cloud_budget_remaining: float,
+        timestamp: float,
+    ) -> SwitchDecision:
+        """Choose the configuration and placement for the next video chunk.
+
+        Args:
+            observed_quality: quality reported by the configuration that just
+                processed video (the only observable content signal).
+            current_configuration_index: index of that configuration.
+            backlog_bytes: bytes currently sitting in the video buffer.
+            bytes_per_second: current encoded bitrate of the incoming video.
+            cloud_budget_remaining: cloud dollars still available in the
+                current budgeting period.
+            timestamp: current stream time (seconds), recorded with the
+                category label for the forecaster.
+        """
+        n_configurations = len(self.profiles)
+        if not 0 <= current_configuration_index < n_configurations:
+            raise ConfigurationError("current_configuration_index out of range")
+
+        # Step 1: classify the current content from a single quality value.
+        category = self.categorizer.classify_partial(
+            current_configuration_index, observed_quality
+        )
+        self.category_history.append((timestamp, category))
+
+        # Step 2: look the category up in the knob plan.
+        planned_histogram = self.plan.histogram(category)
+
+        # Step 3a: pick the configuration that keeps usage closest to the plan.
+        realized = self.realized_histogram(category)
+        deficits = planned_histogram - realized
+        planned_choice = int(np.argmax(deficits))
+
+        # Step 3b: cheapest placement that does not overflow the buffer; fall
+        # back to less qualitative configurations if necessary.
+        choice, placement, fell_back = self._select_feasible(
+            planned_choice, backlog_bytes, bytes_per_second, cloud_budget_remaining
+        )
+
+        self._usage_counts[category, choice] += 1.0
+        return SwitchDecision(
+            configuration_index=choice,
+            profile=self.profiles[choice],
+            placement=placement,
+            category=category,
+            fell_back=fell_back,
+            planned_configuration_index=planned_choice,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _select_feasible(
+        self,
+        planned_choice: int,
+        backlog_bytes: int,
+        bytes_per_second: float,
+        cloud_budget_remaining: float,
+    ) -> Tuple[int, PlacementProfile, bool]:
+        candidates = self._fallback_order(planned_choice)
+        last_resort: Optional[Tuple[int, PlacementProfile]] = None
+        for candidate in candidates:
+            profile = self.profiles[candidate]
+            for placement in profile.placements_by_cloud_cost():
+                if placement.cloud_dollars > cloud_budget_remaining + 1e-12:
+                    continue
+                if self._fits_buffer(placement, backlog_bytes, bytes_per_second):
+                    return candidate, placement, candidate != planned_choice
+                if last_resort is None or (
+                    placement.runtime_seconds < last_resort[1].runtime_seconds
+                ):
+                    last_resort = (candidate, placement)
+        # No placement of any configuration avoids the overflow; return the
+        # fastest placement seen so the engine can at least minimize the lag.
+        if last_resort is None:
+            profile = self.profiles[planned_choice]
+            return planned_choice, profile.on_prem_placement, False
+        return last_resort[0], last_resort[1], True
+
+    def _fallback_order(self, planned_choice: int) -> List[int]:
+        """The planned configuration followed by ever less qualitative ones."""
+        if planned_choice not in self._quality_order:
+            return list(range(len(self.profiles)))
+        start = self._quality_order.index(planned_choice)
+        return self._quality_order[start:] + []
+
+    def _fits_buffer(
+        self, placement: PlacementProfile, backlog_bytes: int, bytes_per_second: float
+    ) -> bool:
+        """Predict whether processing with ``placement`` avoids an overflow.
+
+        While the placement runs for ``runtime`` seconds, the source keeps
+        producing video; the backlog grows by the video produced in excess of
+        the chunk being consumed.  One extra segment of headroom is reserved
+        for the video that arrives before the next switching decision.
+        """
+        runtime = placement.runtime_seconds
+        rate = max(bytes_per_second, 0.0)
+        growth = max(runtime - self.segment_duration, 0.0) * rate
+        headroom = self.segment_duration * rate
+        predicted = backlog_bytes + growth + headroom
+        return predicted <= self.buffer_capacity_bytes * self.safety_margin

@@ -1,0 +1,67 @@
+"""Exception hierarchy shared by all Skyscraper reproduction subsystems.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors such as
+``TypeError`` or ``KeyError`` coming from their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a user supplies an invalid configuration value.
+
+    Examples include registering a knob with an empty domain, provisioning a
+    cluster with zero cores, or requesting a negative budget.
+    """
+
+
+class BufferOverflowError(ReproError):
+    """Raised when the bounded video buffer would exceed its byte capacity.
+
+    The V-ETL contract (Equation 1 of the paper) forbids unbounded lag; a
+    buffer overflow therefore is a hard failure of the ingestion run.  The
+    Chameleon* baseline crashes with this error on under-provisioned hardware,
+    which is exactly the behaviour reported in Section 5.3.
+    """
+
+    def __init__(self, requested_bytes: int, free_bytes: int, capacity_bytes: int):
+        self.requested_bytes = requested_bytes
+        self.free_bytes = free_bytes
+        self.capacity_bytes = capacity_bytes
+        super().__init__(
+            f"buffer overflow: requested {requested_bytes} B but only "
+            f"{free_bytes} B of {capacity_bytes} B are free"
+        )
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a processing plan would exceed the user's budget."""
+
+
+class NotFittedError(ReproError):
+    """Raised when an online component is used before the offline phase ran."""
+
+
+class PlanningError(ReproError):
+    """Raised when the knob planner cannot produce a feasible knob plan."""
+
+
+class PlacementError(ReproError):
+    """Raised when no task placement can ingest a configuration in time."""
+
+
+class SchedulingError(ReproError):
+    """Raised by the cluster executor when a task cannot be scheduled."""
+
+
+class QueryError(ReproError):
+    """Raised by the warehouse query layer for malformed queries."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload definition is inconsistent."""

@@ -1,0 +1,53 @@
+"""Experiment harness: hardware tiers, end-to-end runs, sweeps and formatting.
+
+The benchmarks under ``benchmarks/`` are thin wrappers around this package:
+every table and figure of the paper's evaluation section has a function here
+that produces the corresponding rows/series, and a benchmark file that prints
+them (and exercises the code path under ``pytest-benchmark``).
+"""
+
+from repro.experiments.hardware import MACHINE_TIERS, cluster_for, machine_for
+from repro.experiments.results import (
+    CostQualityPoint,
+    ExperimentTable,
+    format_table,
+    normalize_series,
+)
+from repro.experiments.harness import (
+    ExperimentConfig,
+    SystemBundle,
+    prepare_bundle,
+    run_skyscraper,
+    run_static,
+    run_chameleon,
+    run_videostorm,
+    cost_quality_sweep,
+    provisioned_cost_dollars,
+)
+from repro.experiments.ablation import (
+    AblationVariant,
+    ablation_cost_sweep,
+    work_quality_curves,
+)
+
+__all__ = [
+    "MACHINE_TIERS",
+    "cluster_for",
+    "machine_for",
+    "CostQualityPoint",
+    "ExperimentTable",
+    "format_table",
+    "normalize_series",
+    "ExperimentConfig",
+    "SystemBundle",
+    "prepare_bundle",
+    "run_skyscraper",
+    "run_static",
+    "run_chameleon",
+    "run_videostorm",
+    "cost_quality_sweep",
+    "provisioned_cost_dollars",
+    "AblationVariant",
+    "ablation_cost_sweep",
+    "work_quality_curves",
+]

@@ -1,0 +1,186 @@
+"""Ablation study machinery (Section 5.4, Figures 5-12).
+
+Two families of curves are reproduced:
+
+* **Monetary cost** (Figures 5, 7, 9, 11): for each Skyscraper variant
+  ({no buffering & no cloud, only buffering, only cloud, buffering & cloud})
+  and each cloud/on-prem cost ratio (1:1, 1.8:1, 5:2), sweep the provisioned
+  machine size and report quality against the normalized monetary cost.
+* **Work** (Figures 6, 8, 10, 12): quality against normalized work (core·s)
+  for the Static baseline, Skyscraper, and the ground-truth Optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.optimum import optimum_assignment
+from repro.baselines.static import best_static_configuration
+from repro.cluster.cost import CostModel
+from repro.errors import ConfigurationError
+from repro.experiments.harness import SystemBundle, run_skyscraper, run_static
+from repro.experiments.hardware import MACHINE_TIERS, machine_for
+
+SECONDS_PER_DAY = 86_400.0
+
+#: The four Skyscraper variants of the ablation (Section 5.4, items 1a-1d).
+ABLATION_VARIANTS = (
+    "no_buffering_no_cloud",
+    "only_buffering",
+    "only_cloud",
+    "buffering_and_cloud",
+)
+
+
+@dataclass
+class AblationVariant:
+    """Resource restrictions of one ablation variant."""
+
+    name: str
+    use_buffer: bool
+    use_cloud: bool
+
+    @staticmethod
+    def from_name(name: str) -> "AblationVariant":
+        if name not in ABLATION_VARIANTS:
+            raise ConfigurationError(
+                f"unknown ablation variant {name!r}; choose from {ABLATION_VARIANTS}"
+            )
+        return AblationVariant(
+            name=name,
+            use_buffer=name in ("only_buffering", "buffering_and_cloud"),
+            use_cloud=name in ("only_cloud", "buffering_and_cloud"),
+        )
+
+
+@dataclass
+class AblationPoint:
+    """One (cost, quality) point of an ablation curve."""
+
+    variant: str
+    machine: str
+    quality: float
+    total_dollars: float
+    cloud_dollars: float
+    work_core_seconds: float
+
+
+def _run_variant(
+    bundle: SystemBundle, variant: AblationVariant, cores: int
+) -> "IngestionResult":
+    """Run Skyscraper with the variant's resource restrictions."""
+    from repro.baselines.static import StaticPolicy
+    from repro.experiments.harness import run_static as _run_static
+
+    original_buffer = bundle.config.buffer_bytes
+    cloud_budget = bundle.config.cloud_budget_per_day if variant.use_cloud else 0.0
+    if not variant.use_buffer:
+        # A tiny buffer (a couple of segments) effectively disables buffering:
+        # the switcher may then only pick configurations that run in real time.
+        bundle.config.buffer_bytes = int(
+            3 * bundle.setup.source.bytes_per_second(
+                bundle.setup.source.segment_at(0).content
+            ) * bundle.setup.source.segment_seconds
+        )
+    try:
+        if not variant.use_buffer and not variant.use_cloud:
+            result = _run_static(bundle, cores)
+        else:
+            result = run_skyscraper(bundle, cores, cloud_budget_per_day=cloud_budget)
+    finally:
+        bundle.config.buffer_bytes = original_buffer
+    return result
+
+
+def ablation_cost_sweep(
+    bundle: SystemBundle,
+    cost_ratio: float = 1.8,
+    tiers: Optional[Sequence[str]] = None,
+    variants: Sequence[str] = ABLATION_VARIANTS,
+) -> List[AblationPoint]:
+    """Quality vs. monetary cost for every variant over the machine tiers.
+
+    The monetary cost charges the provisioned on-premise capacity at the owned
+    hardware rate and the cloud compute at ``cost_ratio`` times that rate
+    (Appendix L uses 1.8; the paper also shows 1.0 and 2.5).
+    """
+    tiers = list(tiers) if tiers is not None else MACHINE_TIERS[:4]
+    cost_model = CostModel(cloud_to_on_prem_ratio=cost_ratio)
+    online_seconds = bundle.config.online_days * SECONDS_PER_DAY
+    points: List[AblationPoint] = []
+    for variant_name in variants:
+        variant = AblationVariant.from_name(variant_name)
+        for tier in tiers:
+            machine = machine_for(tier)
+            result = _run_variant(bundle, variant, machine.vcpus)
+            provisioned_core_seconds = machine.vcpus * online_seconds
+            on_prem_dollars = cost_model.on_prem_work_dollars(provisioned_core_seconds)
+            cloud_dollars = cost_model.cloud_work_dollars(result.cloud_core_seconds)
+            points.append(
+                AblationPoint(
+                    variant=variant_name,
+                    machine=tier,
+                    quality=result.weighted_quality,
+                    total_dollars=on_prem_dollars + cloud_dollars,
+                    cloud_dollars=cloud_dollars,
+                    work_core_seconds=result.total_work_core_seconds,
+                )
+            )
+    return points
+
+
+@dataclass
+class WorkQualityCurve:
+    """A quality-vs-normalized-work curve for one system."""
+
+    system: str
+    work_core_seconds: List[float]
+    quality: List[float]
+
+
+def work_quality_curves(
+    bundle: SystemBundle,
+    budgets_fraction_of_max: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 1.0),
+    tiers: Optional[Sequence[str]] = None,
+    max_optimum_segments: int = 4_000,
+) -> List[WorkQualityCurve]:
+    """Quality vs. work for Static, Skyscraper, and the Optimum (Figures 6-12).
+
+    Static sweeps the machine tiers (each tier admits a better real-time
+    configuration); Skyscraper sweeps the same tiers; the Optimum sweeps work
+    budgets expressed as fractions of the most expensive configuration's work.
+    """
+    tiers = list(tiers) if tiers is not None else MACHINE_TIERS[:4]
+    workload = bundle.setup.workload
+    source = bundle.setup.source
+    start, end = bundle.config.online_start, bundle.config.online_end
+
+    static_curve = WorkQualityCurve("static", [], [])
+    sky_curve = WorkQualityCurve("skyscraper", [], [])
+    for tier in tiers:
+        machine = machine_for(tier)
+        static_result = run_static(bundle, machine.vcpus)
+        static_curve.work_core_seconds.append(static_result.total_work_core_seconds)
+        static_curve.quality.append(static_result.weighted_quality)
+        sky_result = run_skyscraper(bundle, machine.vcpus)
+        sky_curve.work_core_seconds.append(sky_result.total_work_core_seconds)
+        sky_curve.quality.append(sky_result.weighted_quality)
+
+    # Optimum: knapsack with ground truth over (a subsample of) the segments.
+    segments = list(source.segments(start, end))
+    if len(segments) > max_optimum_segments:
+        stride = max(len(segments) // max_optimum_segments, 1)
+        segments = segments[::stride]
+    skyscraper = bundle.reprovision(machine_for(tiers[-1]).vcpus)
+    profiles = skyscraper.profiles
+    max_work = profiles.most_expensive().work_core_seconds * len(segments)
+    optimum_curve = WorkQualityCurve("optimum", [], [])
+    for fraction in budgets_fraction_of_max:
+        result = optimum_assignment(workload, profiles, segments, max_work * fraction)
+        optimum_curve.work_core_seconds.append(result.total_work_core_seconds)
+        optimum_curve.quality.append(result.mean_quality)
+
+    return [static_curve, sky_curve, optimum_curve]

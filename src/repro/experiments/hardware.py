@@ -1,0 +1,36 @@
+"""Hardware tiers used by the evaluation (Section 5.3).
+
+The paper provisions Google Cloud VM instances as stand-ins for on-premise
+servers; the same five tiers are exposed here together with helpers to build
+the corresponding cluster specifications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cluster.cost import GCP_MACHINES, MachineType
+from repro.cluster.resources import ClusterSpec
+from repro.errors import ConfigurationError
+
+#: Machine tiers in the order the paper sweeps them (small to large).
+MACHINE_TIERS: List[str] = [
+    "e2-standard-4",
+    "e2-standard-8",
+    "e2-standard-16",
+    "e2-standard-32",
+    "c2-standard-60",
+]
+
+
+def machine_for(tier: str) -> MachineType:
+    """The catalogued machine for a tier name."""
+    if tier not in GCP_MACHINES:
+        raise ConfigurationError(f"unknown machine tier {tier!r}; choose from {MACHINE_TIERS}")
+    return GCP_MACHINES[tier]
+
+
+def cluster_for(tier: str) -> ClusterSpec:
+    """A cluster specification with the tier's vCPU count."""
+    machine = machine_for(tier)
+    return ClusterSpec(cores=machine.vcpus, memory_gb=machine.memory_gb)

@@ -1,0 +1,103 @@
+"""Result records and plain-text table/series formatting for the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CostQualityPoint:
+    """One point of a cost-quality trade-off curve (Figure 4 / Table 2 rows)."""
+
+    system: str
+    machine: str
+    vcpus: int
+    quality: float
+    cloud_dollars: float
+    total_dollars: float
+    crashed: bool = False
+
+    def as_row(self) -> Dict[str, Any]:
+        return {
+            "system": self.system,
+            "machine": self.machine,
+            "vcpus": self.vcpus,
+            "quality": round(self.quality, 3),
+            "cloud_cost_usd": round(self.cloud_dollars, 2),
+            "total_cost_usd": round(self.total_dollars, 2),
+            "crashed": self.crashed,
+        }
+
+
+@dataclass
+class ExperimentTable:
+    """A named table of result rows, printable in the benchmark output."""
+
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        return format_table(self.title, self.rows, self.notes)
+
+
+def format_table(
+    title: str,
+    rows: Sequence[Dict[str, Any]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    lines = [f"== {title} =="]
+    if not rows:
+        lines.append("(no rows)")
+    else:
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        widths = {key: len(key) for key in columns}
+        rendered_rows = []
+        for row in rows:
+            rendered = {key: _render_value(row.get(key, "")) for key in columns}
+            rendered_rows.append(rendered)
+            for key in columns:
+                widths[key] = max(widths[key], len(rendered[key]))
+        header = "  ".join(key.ljust(widths[key]) for key in columns)
+        lines.append(header)
+        lines.append("  ".join("-" * widths[key] for key in columns))
+        for rendered in rendered_rows:
+            lines.append("  ".join(rendered[key].ljust(widths[key]) for key in columns))
+    for note in notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def normalize_series(values: Sequence[float], reference: Optional[float] = None) -> List[float]:
+    """Normalize a series to its maximum (or an explicit reference value).
+
+    The paper reports normalized cost and normalized work on most ablation
+    axes; this helper performs that normalization and guards against
+    degenerate all-zero series.
+    """
+    series = [float(value) for value in values]
+    if reference is None:
+        reference = max(series) if series else 0.0
+    if reference <= 0:
+        raise ConfigurationError("cannot normalize by a non-positive reference")
+    return [value / reference for value in series]

@@ -1,0 +1,45 @@
+"""From-scratch ML substrate used by Skyscraper's offline and online phases.
+
+The paper relies on a handful of standard algorithms: KMeans clustering for
+content categories (Section 3.2), a Gaussian mixture model as an ablation
+alternative (Appendix B.2), a small feed-forward forecasting network
+(Section 3.3), a linear program for knob planning (Section 4.1), greedy hill
+climbing for knob-configuration filtering (Appendix A.1), and a greedy 0-1
+knapsack approximation for the Optimum baseline (Section 5.4).  Only NumPy and
+SciPy are available offline, so this package implements each of them directly.
+"""
+
+from repro.ml.kmeans import KMeans, KMeansResult
+from repro.ml.gmm import GaussianMixture
+from repro.ml.mlp import MLP, MLPConfig, TrainingHistory
+from repro.ml.knapsack import KnapsackItem, greedy_knapsack
+from repro.ml.hillclimb import hill_climb
+from repro.ml.pareto import pareto_front, is_dominated
+from repro.ml.linear_program import LinearProgram, LPSolution, solve_linear_program
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    normalize_histogram,
+    histogram_distance,
+)
+
+__all__ = [
+    "KMeans",
+    "KMeansResult",
+    "GaussianMixture",
+    "MLP",
+    "MLPConfig",
+    "TrainingHistory",
+    "KnapsackItem",
+    "greedy_knapsack",
+    "hill_climb",
+    "pareto_front",
+    "is_dominated",
+    "LinearProgram",
+    "LPSolution",
+    "solve_linear_program",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "normalize_histogram",
+    "histogram_distance",
+]

@@ -1,0 +1,178 @@
+"""Gaussian mixture model fitted with expectation-maximization.
+
+Appendix B.2 of the paper compares KMeans content categorization against a
+Gaussian mixture model and finds no end-to-end difference.  This module
+provides the GMM half of that ablation (Figure 17).  The implementation uses
+diagonal covariances, which is sufficient for the low-dimensional quality
+vectors Skyscraper clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml.kmeans import KMeans
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass
+class GMMResult:
+    """Parameters of a fitted Gaussian mixture.
+
+    Attributes:
+        means: ``(n_components, n_features)`` component means.
+        variances: ``(n_components, n_features)`` diagonal variances.
+        weights: ``(n_components,)`` mixing weights summing to one.
+        log_likelihood: final per-sample average log likelihood.
+        n_iterations: EM iterations executed.
+    """
+
+    means: np.ndarray
+    variances: np.ndarray
+    weights: np.ndarray
+    log_likelihood: float
+    n_iterations: int
+
+
+class GaussianMixture:
+    """Diagonal-covariance Gaussian mixture model trained with EM.
+
+    Args:
+        n_components: number of mixture components (content categories).
+        max_iterations: maximum EM iterations.
+        tolerance: convergence threshold on the average log-likelihood change.
+        min_variance: variance floor preventing degenerate components.
+        seed: seed for KMeans initialization.
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        max_iterations: int = 200,
+        tolerance: float = 1e-6,
+        min_variance: float = 1e-6,
+        seed: Optional[int] = None,
+    ):
+        if n_components < 1:
+            raise ConfigurationError("n_components must be at least 1")
+        self.n_components = n_components
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.min_variance = min_variance
+        self.seed = seed
+        self._result: Optional[GMMResult] = None
+
+    @property
+    def result(self) -> GMMResult:
+        if self._result is None:
+            raise NotFittedError("GaussianMixture.fit must be called first")
+        return self._result
+
+    @property
+    def means(self) -> np.ndarray:
+        """Component means; the GMM analogue of KMeans cluster centers."""
+        return self.result.means
+
+    def fit(self, data: np.ndarray) -> GMMResult:
+        """Fit the mixture to ``data`` with EM, initialized from KMeans."""
+        points = np.asarray(data, dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(-1, 1)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ConfigurationError("GaussianMixture.fit expects a non-empty 2-D array")
+
+        n_samples, n_features = points.shape
+        n_components = min(self.n_components, n_samples)
+
+        kmeans = KMeans(n_clusters=n_components, seed=self.seed)
+        km_result = kmeans.fit(points)
+        means = km_result.centers.copy()
+        variances = np.full((n_components, n_features), max(points.var(), self.min_variance))
+        weights = np.bincount(km_result.labels, minlength=n_components).astype(float)
+        weights = np.maximum(weights, 1.0)
+        weights /= weights.sum()
+
+        previous_ll = -np.inf
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            log_resp, log_likelihood = self._e_step(points, means, variances, weights)
+            means, variances, weights = self._m_step(points, log_resp)
+            if abs(log_likelihood - previous_ll) <= self.tolerance:
+                previous_ll = log_likelihood
+                break
+            previous_ll = log_likelihood
+
+        self._result = GMMResult(
+            means=means,
+            variances=variances,
+            weights=weights,
+            log_likelihood=float(previous_ll),
+            n_iterations=iteration,
+        )
+        return self._result
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        """Fit and return the most likely component for each sample."""
+        self.fit(data)
+        return self.predict(data)
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Most likely component for each sample under the fitted model."""
+        points = np.asarray(data, dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(-1, 1)
+        result = self.result
+        log_prob = self._log_component_densities(
+            points, result.means, result.variances, result.weights
+        )
+        return np.argmax(log_prob, axis=1)
+
+    def predict_partial(self, value: float, dimension: int) -> int:
+        """Classify a sample from a single dimension (knob-switcher analogue)."""
+        result = self.result
+        if not 0 <= dimension < result.means.shape[1]:
+            raise ConfigurationError("dimension out of range")
+        means = result.means[:, dimension]
+        variances = result.variances[:, dimension]
+        log_prob = (
+            np.log(result.weights)
+            - 0.5 * (_LOG_2PI + np.log(variances))
+            - 0.5 * (value - means) ** 2 / variances
+        )
+        return int(np.argmax(log_prob))
+
+    def _e_step(self, points, means, variances, weights):
+        log_prob = self._log_component_densities(points, means, variances, weights)
+        log_norm = _logsumexp(log_prob, axis=1)
+        log_resp = log_prob - log_norm[:, np.newaxis]
+        return log_resp, float(np.mean(log_norm))
+
+    def _m_step(self, points, log_resp):
+        resp = np.exp(log_resp)
+        component_weight = resp.sum(axis=0) + 1e-12
+        weights = component_weight / component_weight.sum()
+        means = (resp.T @ points) / component_weight[:, np.newaxis]
+        diffs_sq = (points[:, np.newaxis, :] - means[np.newaxis, :, :]) ** 2
+        variances = np.einsum("nk,nkf->kf", resp, diffs_sq) / component_weight[:, np.newaxis]
+        variances = np.maximum(variances, self.min_variance)
+        return means, variances, weights
+
+    @staticmethod
+    def _log_component_densities(points, means, variances, weights):
+        diffs_sq = (points[:, np.newaxis, :] - means[np.newaxis, :, :]) ** 2
+        log_density = -0.5 * np.sum(
+            _LOG_2PI + np.log(variances)[np.newaxis, :, :] + diffs_sq / variances[np.newaxis, :, :],
+            axis=2,
+        )
+        return log_density + np.log(weights)[np.newaxis, :]
+
+
+def _logsumexp(values: np.ndarray, axis: int) -> np.ndarray:
+    maxima = np.max(values, axis=axis, keepdims=True)
+    summed = np.sum(np.exp(values - maxima), axis=axis, keepdims=True)
+    return np.squeeze(maxima + np.log(summed), axis=axis)

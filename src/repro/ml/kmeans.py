@@ -1,0 +1,182 @@
+"""Lloyd's KMeans clustering with k-means++ initialization.
+
+Skyscraper clusters |K|-dimensional quality vectors into content categories
+(Section 3.2).  The quality vectors are low dimensional (one entry per knob
+configuration, typically 3-15), so a plain NumPy implementation of Lloyd's
+algorithm is more than fast enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a single KMeans fit.
+
+    Attributes:
+        centers: ``(n_clusters, n_features)`` array of cluster centers.
+        labels: ``(n_samples,)`` array of cluster assignments.
+        inertia: sum of squared distances of samples to their closest center.
+        n_iterations: number of Lloyd iterations executed before convergence.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iterations: int
+
+
+class KMeans:
+    """KMeans clustering (Lloyd's algorithm) with k-means++ seeding.
+
+    Args:
+        n_clusters: number of clusters (the paper's number of content
+            categories; Appendix I.1 recommends a default of 4).
+        n_init: number of random restarts; the best run (lowest inertia) wins.
+        max_iterations: maximum Lloyd iterations per restart.
+        tolerance: relative center-shift threshold for convergence.
+        seed: seed for the internal random generator, for reproducibility.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 8,
+        max_iterations: int = 300,
+        tolerance: float = 1e-6,
+        seed: Optional[int] = None,
+    ):
+        if n_clusters < 1:
+            raise ConfigurationError("n_clusters must be at least 1")
+        if n_init < 1:
+            raise ConfigurationError("n_init must be at least 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self._rng = np.random.default_rng(seed)
+        self._result: Optional[KMeansResult] = None
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Cluster centers of the best fit; raises if :meth:`fit` was not run."""
+        if self._result is None:
+            raise NotFittedError("KMeans.fit must be called before accessing centers")
+        return self._result.centers
+
+    @property
+    def result(self) -> KMeansResult:
+        if self._result is None:
+            raise NotFittedError("KMeans.fit must be called before accessing result")
+        return self._result
+
+    def fit(self, data: np.ndarray) -> KMeansResult:
+        """Cluster ``data`` and return the best :class:`KMeansResult`.
+
+        Args:
+            data: ``(n_samples, n_features)`` array.  If fewer samples than
+                clusters are provided the effective cluster count is reduced.
+        """
+        points = np.asarray(data, dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(-1, 1)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ConfigurationError("KMeans.fit expects a non-empty 2-D array")
+
+        effective_clusters = min(self.n_clusters, points.shape[0])
+        best: Optional[KMeansResult] = None
+        for _ in range(self.n_init):
+            result = self._single_run(points, effective_clusters)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        self._result = best
+        return best
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        """Fit the model and return the cluster label of each sample."""
+        return self.fit(data).labels
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Assign each sample in ``data`` to its nearest fitted center."""
+        points = np.asarray(data, dtype=float)
+        if points.ndim == 1:
+            points = points.reshape(-1, 1)
+        distances = _pairwise_sq_distances(points, self.centers)
+        return np.argmin(distances, axis=1)
+
+    def predict_partial(self, value: float, dimension: int) -> int:
+        """Classify a sample from a single known dimension.
+
+        This mirrors the knob switcher's content classification (Section 4.2,
+        Equation 5): only the quality of the currently running configuration
+        is observable, so the closest center along that single dimension is
+        selected.
+        """
+        centers = self.centers
+        if not 0 <= dimension < centers.shape[1]:
+            raise ConfigurationError(
+                f"dimension {dimension} out of range for centers with "
+                f"{centers.shape[1]} features"
+            )
+        distances = np.abs(centers[:, dimension] - value)
+        return int(np.argmin(distances))
+
+    def _single_run(self, points: np.ndarray, n_clusters: int) -> KMeansResult:
+        centers = self._init_centers(points, n_clusters)
+        labels = np.zeros(points.shape[0], dtype=int)
+        for iteration in range(1, self.max_iterations + 1):
+            distances = _pairwise_sq_distances(points, centers)
+            labels = np.argmin(distances, axis=1)
+            new_centers = np.empty_like(centers)
+            for cluster in range(n_clusters):
+                members = points[labels == cluster]
+                if members.shape[0] == 0:
+                    # Re-seed empty clusters with the point farthest from its center.
+                    farthest = int(np.argmax(np.min(distances, axis=1)))
+                    new_centers[cluster] = points[farthest]
+                else:
+                    new_centers[cluster] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            if shift <= self.tolerance:
+                break
+        distances = _pairwise_sq_distances(points, centers)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(np.sum(np.min(distances, axis=1)))
+        return KMeansResult(
+            centers=centers, labels=labels, inertia=inertia, n_iterations=iteration
+        )
+
+    def _init_centers(self, points: np.ndarray, n_clusters: int) -> np.ndarray:
+        """k-means++ seeding: spread the initial centers apart."""
+        n_samples = points.shape[0]
+        centers = np.empty((n_clusters, points.shape[1]), dtype=float)
+        first = self._rng.integers(0, n_samples)
+        centers[0] = points[first]
+        closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+        for cluster in range(1, n_clusters):
+            total = closest_sq.sum()
+            if total <= 0:
+                # All points identical to existing centers; pick uniformly.
+                index = self._rng.integers(0, n_samples)
+            else:
+                probabilities = closest_sq / total
+                index = self._rng.choice(n_samples, p=probabilities)
+            centers[cluster] = points[index]
+            new_sq = np.sum((points - centers[cluster]) ** 2, axis=1)
+            closest_sq = np.minimum(closest_sq, new_sq)
+        return centers
+
+
+def _pairwise_sq_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between every point and every center."""
+    diffs = points[:, np.newaxis, :] - centers[np.newaxis, :, :]
+    return np.sum(diffs * diffs, axis=2)

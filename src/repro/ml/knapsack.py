@@ -1,0 +1,104 @@
+"""Greedy 0-1 knapsack approximation.
+
+The Optimum baseline of the ablation study (Section 5.4, variant 2c) uses the
+greedy 0-1 knapsack approximation to assign knob configurations to segments
+with full knowledge of the ground-truth quality of every configuration on
+every segment.  The idealized system of Appendix B.1 uses the same machinery
+with forecasted (rather than ground-truth) per-segment qualities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """A candidate (segment, configuration) upgrade considered by the solver.
+
+    Attributes:
+        key: identifier of the decision slot (e.g. the segment index).
+        option: identifier of the chosen option (e.g. the knob configuration).
+        value: quality gained by picking ``option`` for ``key``.
+        cost: compute cost (core-seconds or dollars) of picking ``option``.
+    """
+
+    key: Hashable
+    option: Hashable
+    value: float
+    cost: float
+
+
+def greedy_knapsack(
+    items: Sequence[KnapsackItem],
+    budget: float,
+) -> Tuple[Dict[Hashable, KnapsackItem], float, float]:
+    """Greedy multiple-choice knapsack: pick at most one option per key.
+
+    The solver starts from the cheapest option of every key (so that every
+    segment is processed by *some* configuration, as required by the V-ETL
+    throughput constraint) and then greedily applies the upgrades with the
+    best marginal value per marginal cost until the budget is exhausted.
+
+    Args:
+        items: candidate options.  Every key must have at least one option.
+        budget: total cost budget across all picks.
+
+    Returns:
+        A tuple ``(choices, total_value, total_cost)`` where ``choices`` maps
+        every key to its selected :class:`KnapsackItem`.
+    """
+    if budget < 0:
+        raise ConfigurationError("knapsack budget must be non-negative")
+    if not items:
+        return {}, 0.0, 0.0
+
+    by_key: Dict[Hashable, List[KnapsackItem]] = {}
+    for item in items:
+        if item.cost < 0:
+            raise ConfigurationError("knapsack item costs must be non-negative")
+        by_key.setdefault(item.key, []).append(item)
+
+    choices: Dict[Hashable, KnapsackItem] = {}
+    total_cost = 0.0
+    total_value = 0.0
+    for key, options in by_key.items():
+        options.sort(key=lambda candidate: (candidate.cost, -candidate.value))
+        baseline = options[0]
+        choices[key] = baseline
+        total_cost += baseline.cost
+        total_value += baseline.value
+
+    # Build the upgrade list: replacing the current choice of a key with a
+    # strictly better, more expensive option.
+    improved = True
+    while improved:
+        improved = False
+        best_ratio = 0.0
+        best_key = None
+        best_item = None
+        for key, options in by_key.items():
+            current = choices[key]
+            for candidate in options:
+                extra_cost = candidate.cost - current.cost
+                extra_value = candidate.value - current.value
+                if extra_value <= 0:
+                    continue
+                if total_cost + extra_cost > budget:
+                    continue
+                ratio = extra_value / extra_cost if extra_cost > 0 else float("inf")
+                if ratio > best_ratio:
+                    best_ratio = ratio
+                    best_key = key
+                    best_item = candidate
+        if best_item is not None and best_key is not None:
+            current = choices[best_key]
+            total_cost += best_item.cost - current.cost
+            total_value += best_item.value - current.value
+            choices[best_key] = best_item
+            improved = True
+
+    return choices, total_value, total_cost

@@ -1,0 +1,156 @@
+"""Linear-program wrapper around :func:`scipy.optimize.linprog`.
+
+The knob planner (Section 4.1) solves a maximization LP whose decision
+variables are the per-category configuration frequencies ``alpha[k, c]``.
+This module exposes a small, explicit LP builder so the planner code reads
+like the paper's formulation (Equations 2-4) instead of raw matrix plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import PlanningError
+
+
+@dataclass
+class LPSolution:
+    """Solution of a :class:`LinearProgram`.
+
+    Attributes:
+        values: optimal value of every registered variable, keyed by name.
+        objective: optimal objective value (of the *maximization* problem).
+        status: human-readable solver status.
+    """
+
+    values: Dict[Hashable, float]
+    objective: float
+    status: str
+
+    def __getitem__(self, name: Hashable) -> float:
+        return self.values[name]
+
+
+class LinearProgram:
+    """A maximization LP with named variables and explicit constraints.
+
+    Usage::
+
+        lp = LinearProgram()
+        lp.add_variable("x", objective=3.0, lower=0.0)
+        lp.add_variable("y", objective=2.0, lower=0.0)
+        lp.add_constraint_le({"x": 1.0, "y": 1.0}, 4.0)
+        lp.add_constraint_eq({"x": 1.0}, 1.0)
+        solution = lp.solve()
+    """
+
+    def __init__(self):
+        self._names: List[Hashable] = []
+        self._index: Dict[Hashable, int] = {}
+        self._objective: List[float] = []
+        self._lower: List[float] = []
+        self._upper: List[Optional[float]] = []
+        self._le_constraints: List[Tuple[Dict[Hashable, float], float]] = []
+        self._eq_constraints: List[Tuple[Dict[Hashable, float], float]] = []
+
+    @property
+    def n_variables(self) -> int:
+        return len(self._names)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self._le_constraints) + len(self._eq_constraints)
+
+    def add_variable(
+        self,
+        name: Hashable,
+        objective: float = 0.0,
+        lower: float = 0.0,
+        upper: Optional[float] = None,
+    ) -> None:
+        """Register a decision variable with its objective coefficient."""
+        if name in self._index:
+            raise PlanningError(f"variable {name!r} registered twice")
+        self._index[name] = len(self._names)
+        self._names.append(name)
+        self._objective.append(objective)
+        self._lower.append(lower)
+        self._upper.append(upper)
+
+    def add_constraint_le(self, coefficients: Dict[Hashable, float], bound: float) -> None:
+        """Add ``sum(coefficients[v] * v) <= bound``."""
+        self._check_known(coefficients)
+        self._le_constraints.append((dict(coefficients), bound))
+
+    def add_constraint_eq(self, coefficients: Dict[Hashable, float], bound: float) -> None:
+        """Add ``sum(coefficients[v] * v) == bound``."""
+        self._check_known(coefficients)
+        self._eq_constraints.append((dict(coefficients), bound))
+
+    def _check_known(self, coefficients: Dict[Hashable, float]) -> None:
+        unknown = [name for name in coefficients if name not in self._index]
+        if unknown:
+            raise PlanningError(f"constraint references unknown variables: {unknown}")
+
+    def solve(self) -> LPSolution:
+        """Solve the LP and return the optimal variable assignment.
+
+        Raises:
+            PlanningError: if the LP is infeasible or unbounded.
+        """
+        if not self._names:
+            raise PlanningError("linear program has no variables")
+        n_vars = len(self._names)
+        # scipy minimizes, so negate the objective for maximization.
+        cost = -np.array(self._objective, dtype=float)
+
+        a_ub, b_ub = self._build_matrix(self._le_constraints, n_vars)
+        a_eq, b_eq = self._build_matrix(self._eq_constraints, n_vars)
+        bounds = list(zip(self._lower, self._upper))
+
+        result = linprog(
+            c=cost,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+        )
+        if not result.success:
+            raise PlanningError(f"linear program could not be solved: {result.message}")
+        values = {name: float(result.x[index]) for name, index in self._index.items()}
+        return LPSolution(values=values, objective=float(-result.fun), status=result.message)
+
+    def _build_matrix(self, constraints, n_vars):
+        if not constraints:
+            return None, None
+        matrix = np.zeros((len(constraints), n_vars))
+        bounds = np.zeros(len(constraints))
+        for row, (coefficients, bound) in enumerate(constraints):
+            for name, coefficient in coefficients.items():
+                matrix[row, self._index[name]] = coefficient
+            bounds[row] = bound
+        return matrix, bounds
+
+
+def solve_linear_program(
+    objective: Dict[Hashable, float],
+    le_constraints: Sequence[Tuple[Dict[Hashable, float], float]] = (),
+    eq_constraints: Sequence[Tuple[Dict[Hashable, float], float]] = (),
+    lower: float = 0.0,
+    upper: Optional[float] = None,
+) -> LPSolution:
+    """Convenience wrapper building and solving a maximization LP in one call."""
+    lp = LinearProgram()
+    for name, coefficient in objective.items():
+        lp.add_variable(name, objective=coefficient, lower=lower, upper=upper)
+    for coefficients, bound in le_constraints:
+        lp.add_constraint_le(coefficients, bound)
+    for coefficients, bound in eq_constraints:
+        lp.add_constraint_eq(coefficients, bound)
+    return lp.solve()

@@ -1,0 +1,66 @@
+"""Small numeric helpers shared by the forecaster, planner, and experiments."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def mean_absolute_error(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean absolute error between two arrays of the same shape.
+
+    This is the forecast-accuracy metric reported in Section 5.6 and
+    Tables 5-6.
+    """
+    predicted = np.asarray(predictions, dtype=float)
+    expected = np.asarray(targets, dtype=float)
+    if predicted.shape != expected.shape:
+        raise ConfigurationError(
+            f"shape mismatch: predictions {predicted.shape} vs targets {expected.shape}"
+        )
+    if predicted.size == 0:
+        raise ConfigurationError("cannot compute MAE of empty arrays")
+    return float(np.mean(np.abs(predicted - expected)))
+
+
+def mean_squared_error(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean squared error between two arrays of the same shape."""
+    predicted = np.asarray(predictions, dtype=float)
+    expected = np.asarray(targets, dtype=float)
+    if predicted.shape != expected.shape:
+        raise ConfigurationError(
+            f"shape mismatch: predictions {predicted.shape} vs targets {expected.shape}"
+        )
+    if predicted.size == 0:
+        raise ConfigurationError("cannot compute MSE of empty arrays")
+    return float(np.mean((predicted - expected) ** 2))
+
+
+def normalize_histogram(counts: Sequence[float]) -> np.ndarray:
+    """Normalize a non-negative count vector so its entries sum to one.
+
+    A zero vector normalizes to the uniform distribution, which is the
+    behaviour the knob switcher needs when a content category has not been
+    observed yet.
+    """
+    values = np.asarray(counts, dtype=float)
+    if values.ndim != 1:
+        raise ConfigurationError("normalize_histogram expects a 1-D vector")
+    if np.any(values < 0):
+        raise ConfigurationError("histogram counts must be non-negative")
+    total = values.sum()
+    if total <= 0:
+        return np.full(values.shape, 1.0 / max(len(values), 1))
+    return values / total
+
+
+def histogram_distance(left: Sequence[float], right: Sequence[float]) -> float:
+    """Total-variation distance between two histograms (after normalization)."""
+    left_norm = normalize_histogram(left)
+    right_norm = normalize_histogram(right)
+    if left_norm.shape != right_norm.shape:
+        raise ConfigurationError("histograms must have the same number of bins")
+    return float(0.5 * np.sum(np.abs(left_norm - right_norm)))

@@ -1,0 +1,37 @@
+"""Synthetic video substrate.
+
+The paper ingests real camera streams (Tokyo street cameras, the MOT20
+benchmark, CMU-MOSEI clips).  Offline, we replace them with a synthetic
+substrate that reproduces the *statistics* Skyscraper reacts to: diurnal
+traffic cycles, rush-hour peaks, random pedestrian bursts that change the
+content category every few tens of seconds, lighting changes, and the
+synthetic spike patterns of the MOSEI workloads.
+
+The substrate exposes frames, segments, streams, an H.264-like size/decode
+cost model, and the byte-bounded video buffer required by the V-ETL
+throughput constraint (Equation 1).
+"""
+
+from repro.video.content import ContentState, ContentModel, DiurnalProfile, SpikeSchedule
+from repro.video.frame import Frame, SyntheticObject, VideoSegment
+from repro.video.stream import SyntheticVideoSource, StreamGroup, StreamConfig
+from repro.video.codec import H264SizeModel, DecodeCostModel, EncodedPayload
+from repro.video.buffer import VideoBuffer, BufferSnapshot
+
+__all__ = [
+    "ContentState",
+    "ContentModel",
+    "DiurnalProfile",
+    "SpikeSchedule",
+    "Frame",
+    "SyntheticObject",
+    "VideoSegment",
+    "SyntheticVideoSource",
+    "StreamGroup",
+    "StreamConfig",
+    "H264SizeModel",
+    "DecodeCostModel",
+    "EncodedPayload",
+    "VideoBuffer",
+    "BufferSnapshot",
+]

@@ -1,0 +1,147 @@
+"""Byte-bounded video buffer.
+
+Equation 1 of the paper allows a V-ETL system to lag behind, but only by the
+capacity of a fixed-size buffer.  The buffer stores encoded segments that have
+arrived but not finished processing; overflow is a hard failure (it is how the
+Chameleon* baseline crashes on under-provisioned hardware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+from collections import deque
+
+from repro.errors import BufferOverflowError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class BufferSnapshot:
+    """Occupancy of the buffer at a point in (simulated) time."""
+
+    timestamp: float
+    used_bytes: int
+    capacity_bytes: int
+
+    @property
+    def fill_fraction(self) -> float:
+        if self.capacity_bytes == 0:
+            return 0.0
+        return self.used_bytes / self.capacity_bytes
+
+
+class VideoBuffer:
+    """A FIFO buffer of encoded video bounded by a byte capacity.
+
+    Args:
+        capacity_bytes: maximum number of bytes that may be buffered; the
+            paper's running example uses 4 GB (Figure 3).
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 0:
+            raise ConfigurationError("buffer capacity must be non-negative")
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: Deque[Tuple[object, int]] = deque()
+        self._used_bytes = 0
+        self._peak_bytes = 0
+        self._history: List[BufferSnapshot] = []
+
+    # ------------------------------------------------------------------ #
+    # Occupancy
+    # ------------------------------------------------------------------ #
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        """Largest occupancy observed so far (reported in Figure 3)."""
+        return self._peak_bytes
+
+    @property
+    def fill_fraction(self) -> float:
+        if self.capacity_bytes == 0:
+            return 0.0
+        return self._used_bytes / self.capacity_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def fits(self, size_bytes: int) -> bool:
+        """Whether an item of the given size can be buffered without overflow."""
+        return size_bytes <= self.free_bytes
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def push(self, item: object, size_bytes: int) -> None:
+        """Append an item; raises :class:`BufferOverflowError` if it does not fit."""
+        if size_bytes < 0:
+            raise ConfigurationError("buffered item size must be non-negative")
+        if size_bytes > self.free_bytes:
+            raise BufferOverflowError(
+                requested_bytes=size_bytes,
+                free_bytes=self.free_bytes,
+                capacity_bytes=self.capacity_bytes,
+            )
+        self._entries.append((item, size_bytes))
+        self._used_bytes += size_bytes
+        self._peak_bytes = max(self._peak_bytes, self._used_bytes)
+
+    def pop(self) -> Tuple[object, int]:
+        """Remove and return the oldest buffered item and its size."""
+        if not self._entries:
+            raise ConfigurationError("cannot pop from an empty buffer")
+        item, size_bytes = self._entries.popleft()
+        self._used_bytes -= size_bytes
+        return item, size_bytes
+
+    def peek(self) -> Optional[Tuple[object, int]]:
+        """Oldest buffered item without removing it, or ``None`` if empty."""
+        if not self._entries:
+            return None
+        return self._entries[0]
+
+    def drain(self, max_bytes: int) -> List[Tuple[object, int]]:
+        """Pop items oldest-first until ``max_bytes`` have been removed.
+
+        Items are never split; draining stops before the first item that
+        would exceed the allowance.
+        """
+        if max_bytes < 0:
+            raise ConfigurationError("max_bytes must be non-negative")
+        removed: List[Tuple[object, int]] = []
+        drained = 0
+        while self._entries:
+            _, size_bytes = self._entries[0]
+            if drained + size_bytes > max_bytes:
+                break
+            removed.append(self.pop())
+            drained += size_bytes
+        return removed
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # History
+    # ------------------------------------------------------------------ #
+    def record_snapshot(self, timestamp: float) -> BufferSnapshot:
+        """Record and return the occupancy at ``timestamp`` (for Figure 3)."""
+        snapshot = BufferSnapshot(
+            timestamp=timestamp,
+            used_bytes=self._used_bytes,
+            capacity_bytes=self.capacity_bytes,
+        )
+        self._history.append(snapshot)
+        return snapshot
+
+    @property
+    def history(self) -> List[BufferSnapshot]:
+        return list(self._history)

@@ -1,0 +1,289 @@
+"""Content dynamics model for synthetic video streams.
+
+Skyscraper's behaviour is driven entirely by how the *difficulty* of the
+streamed content evolves over time: rush hours produce many occlusions that
+cheap knob configurations cannot handle, nights are easy, pedestrian groups
+randomly pass by the camera for a few tens of seconds, and (for the MOSEI
+workloads) the number of concurrent streams spikes.  This module provides a
+deterministic, seedable model of those dynamics.
+
+The model exposes :meth:`ContentModel.state_at`, a pure function of the
+timestamp (given the seed), so the "recorded two weeks of history" used in the
+offline phase and the "live stream" used in the online phase are guaranteed to
+come from the same underlying process, exactly as in the paper's setup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_HOUR = 3_600.0
+
+
+@dataclass(frozen=True)
+class ContentState:
+    """Summary of the video content during one segment.
+
+    Attributes:
+        timestamp: absolute stream time in seconds since ingestion start.
+        object_density: expected number of relevant objects in frame,
+            normalized to [0, 1] (1 means a packed rush-hour scene).
+        occlusion: fraction of objects that overlap other objects, in [0, 1].
+        lighting: scene illumination quality, in [0, 1] (1 is daylight).
+        motion: average object speed, normalized to [0, 1]; fast motion makes
+            sparse frame sampling lossier.
+        activity: combined difficulty scalar in [0, 1] used by the
+            cheaper-is-riskier quality model of the simulated UDFs.
+        stream_load: fraction of the maximum number of concurrent streams
+            currently active (only meaningful for multi-stream workloads).
+    """
+
+    timestamp: float
+    object_density: float
+    occlusion: float
+    lighting: float
+    motion: float
+    activity: float
+    stream_load: float = 1.0
+
+    def as_vector(self) -> np.ndarray:
+        """Feature vector (density, occlusion, lighting, motion, load)."""
+        return np.array(
+            [self.object_density, self.occlusion, self.lighting, self.motion, self.stream_load]
+        )
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Smooth time-of-day activity profile with morning and evening peaks.
+
+    The defaults produce the traffic-camera pattern described around Figure 3:
+    quiet nights, a morning rush around 08:00, an evening rush around 17:30,
+    and moderate activity in between.
+    """
+
+    night_level: float = 0.12
+    day_level: float = 0.55
+    morning_peak_hour: float = 8.0
+    evening_peak_hour: float = 17.5
+    peak_level: float = 0.95
+    peak_width_hours: float = 1.6
+
+    def activity(self, timestamp: float) -> float:
+        """Baseline activity in [0, 1] at the given absolute time."""
+        hour = (timestamp % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        # Smooth day/night envelope: low from ~22:00 to ~06:00.
+        daylight = 0.5 * (1.0 + math.cos((hour - 13.0) / 24.0 * 2.0 * math.pi))
+        base = self.night_level + (self.day_level - self.night_level) * daylight
+        for peak_hour in (self.morning_peak_hour, self.evening_peak_hour):
+            distance = min(abs(hour - peak_hour), 24.0 - abs(hour - peak_hour))
+            bump = math.exp(-0.5 * (distance / self.peak_width_hours) ** 2)
+            base += (self.peak_level - self.day_level) * bump
+        return float(min(max(base, 0.0), 1.0))
+
+    def lighting(self, timestamp: float) -> float:
+        """Scene illumination in [0, 1]; dark between roughly 20:00 and 05:00."""
+        hour = (timestamp % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        daylight = 0.5 * (1.0 + math.cos((hour - 13.0) / 24.0 * 2.0 * math.pi))
+        return float(0.15 + 0.85 * daylight)
+
+
+@dataclass(frozen=True)
+class SpikeSchedule:
+    """Deterministic workload spikes for the MOSEI-style synthetic workloads.
+
+    Attributes:
+        period_seconds: distance between consecutive spike starts.
+        duration_seconds: length of each spike.
+        magnitude: additional activity/stream load injected during a spike.
+        start_offset_seconds: offset of the first spike from stream start.
+    """
+
+    period_seconds: float
+    duration_seconds: float
+    magnitude: float
+    start_offset_seconds: float = 0.0
+
+    def intensity(self, timestamp: float) -> float:
+        """Spike contribution in [0, magnitude] at the given time."""
+        if self.period_seconds <= 0:
+            return 0.0
+        phase = (timestamp - self.start_offset_seconds) % self.period_seconds
+        if phase < 0 or phase >= self.duration_seconds:
+            return 0.0
+        # Smooth ramp up/down over 10% of the spike duration.
+        ramp = max(self.duration_seconds * 0.1, 1.0)
+        rise = min(phase / ramp, 1.0)
+        fall = min((self.duration_seconds - phase) / ramp, 1.0)
+        return float(self.magnitude * min(rise, fall))
+
+
+@dataclass(frozen=True)
+class _Burst:
+    """A short random event (e.g. a pedestrian group passing the camera)."""
+
+    start: float
+    duration: float
+    magnitude: float
+
+    def intensity(self, timestamp: float) -> float:
+        if timestamp < self.start or timestamp >= self.start + self.duration:
+            return 0.0
+        phase = (timestamp - self.start) / self.duration
+        return float(self.magnitude * math.sin(math.pi * phase))
+
+
+class ContentModel:
+    """Deterministic generator of :class:`ContentState` values.
+
+    Args:
+        seed: base seed; two models with the same seed produce identical
+            content, which is how the offline "historical recording" and the
+            online "live stream" observe the same process.
+        diurnal: time-of-day profile.
+        burst_rate_per_hour: expected number of random bursts per hour
+            (pedestrian groups, traffic jams).  The default yields content
+            category changes roughly every 30-45 seconds during the day,
+            matching the statistics reported in Section 5.3.
+        burst_duration_seconds: mean burst duration.
+        burst_magnitude: mean additional activity injected by a burst.
+        noise_level: amplitude of smooth stochastic background variation.
+        spikes: optional deterministic spike schedule (MOSEI workloads).
+        trend_per_day: linear drift of baseline activity per day, used by the
+            forecaster tests to model slowly changing traffic levels.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        diurnal: Optional[DiurnalProfile] = None,
+        burst_rate_per_hour: float = 40.0,
+        burst_duration_seconds: float = 45.0,
+        burst_magnitude: float = 0.35,
+        noise_level: float = 0.05,
+        spikes: Optional[SpikeSchedule] = None,
+        trend_per_day: float = 0.0,
+    ):
+        if burst_rate_per_hour < 0:
+            raise ConfigurationError("burst_rate_per_hour must be non-negative")
+        if burst_duration_seconds <= 0:
+            raise ConfigurationError("burst_duration_seconds must be positive")
+        self.seed = seed
+        self.diurnal = diurnal or DiurnalProfile()
+        self.burst_rate_per_hour = burst_rate_per_hour
+        self.burst_duration_seconds = burst_duration_seconds
+        self.burst_magnitude = burst_magnitude
+        self.noise_level = noise_level
+        self.spikes = spikes
+        self.trend_per_day = trend_per_day
+        self._burst_cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        # Smooth background noise realized as a small sum of sinusoids with
+        # seeded random phases; this keeps state_at a pure function of time.
+        rng = np.random.default_rng(seed)
+        self._noise_phases = rng.uniform(0.0, 2.0 * math.pi, size=4)
+        self._noise_periods = rng.uniform(180.0, 2400.0, size=4)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def state_at(self, timestamp: float, stream_load: Optional[float] = None) -> ContentState:
+        """Content state at an absolute stream time (seconds)."""
+        if timestamp < 0:
+            raise ConfigurationError("timestamp must be non-negative")
+        baseline = self.diurnal.activity(timestamp)
+        baseline += self.trend_per_day * (timestamp / SECONDS_PER_DAY)
+        burst = self._burst_intensity(timestamp)
+        spike = self.spikes.intensity(timestamp) if self.spikes is not None else 0.0
+        noise = self._smooth_noise(timestamp)
+        activity = _clip01(baseline + burst + spike + noise)
+
+        lighting = self.diurnal.lighting(timestamp)
+        object_density = _clip01(activity * (0.85 + 0.3 * burst))
+        occlusion = _clip01(activity**1.4 * (1.1 - 0.25 * lighting))
+        motion = _clip01(0.25 + 0.6 * activity + 0.4 * burst)
+        load = stream_load if stream_load is not None else _clip01(0.3 + 0.7 * activity + spike)
+        return ContentState(
+            timestamp=float(timestamp),
+            object_density=object_density,
+            occlusion=occlusion,
+            lighting=lighting,
+            motion=motion,
+            activity=activity,
+            stream_load=load,
+        )
+
+    def states(
+        self, start: float, end: float, step_seconds: float
+    ) -> List[ContentState]:
+        """Content states sampled every ``step_seconds`` in ``[start, end)``."""
+        if step_seconds <= 0:
+            raise ConfigurationError("step_seconds must be positive")
+        if end < start:
+            raise ConfigurationError("end must not precede start")
+        count = int(math.ceil((end - start) / step_seconds))
+        return [self.state_at(start + index * step_seconds) for index in range(count)]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _burst_intensity(self, timestamp: float) -> float:
+        day = int(timestamp // SECONDS_PER_DAY)
+        total = 0.0
+        # A burst can straddle midnight, so also consider the previous day.
+        for candidate_day in (day - 1, day):
+            if candidate_day < 0:
+                continue
+            starts, durations, magnitudes = self._bursts_for_day(candidate_day)
+            if starts.size == 0:
+                continue
+            # Only bursts that have started and not yet ended contribute.
+            active = (starts <= timestamp) & (timestamp < starts + durations)
+            if not np.any(active):
+                continue
+            phase = (timestamp - starts[active]) / durations[active]
+            total += float(np.sum(magnitudes[active] * np.sin(np.pi * phase)))
+        return total
+
+    def _bursts_for_day(self, day: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        cached = self._burst_cache.get(day)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng((self.seed * 1_000_003 + day * 7_919) & 0xFFFFFFFF)
+        expected = self.burst_rate_per_hour * 24.0
+        count = int(rng.poisson(expected)) if expected > 0 else 0
+        bursts: List[_Burst] = []
+        day_start = day * SECONDS_PER_DAY
+        for _ in range(count):
+            start = day_start + rng.uniform(0.0, SECONDS_PER_DAY)
+            duration = max(rng.exponential(self.burst_duration_seconds), 5.0)
+            # Bursts are more likely and stronger during active hours.
+            weight = self.diurnal.activity(start)
+            if rng.uniform() > 0.25 + 0.75 * weight:
+                continue
+            magnitude = max(rng.normal(self.burst_magnitude, self.burst_magnitude * 0.4), 0.05)
+            bursts.append(_Burst(start=start, duration=duration, magnitude=magnitude))
+        bursts.sort(key=lambda burst: burst.start)
+        arrays = (
+            np.array([burst.start for burst in bursts], dtype=float),
+            np.array([burst.duration for burst in bursts], dtype=float),
+            np.array([burst.magnitude for burst in bursts], dtype=float),
+        )
+        self._burst_cache[day] = arrays
+        return arrays
+
+    def _smooth_noise(self, timestamp: float) -> float:
+        value = 0.0
+        for phase, period in zip(self._noise_phases, self._noise_periods):
+            value += math.sin(2.0 * math.pi * timestamp / period + phase)
+        return self.noise_level * value / len(self._noise_phases)
+
+
+def _clip01(value: float) -> float:
+    return float(min(max(value, 0.0), 1.0))

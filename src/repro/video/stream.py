@@ -1,0 +1,172 @@
+"""Synthetic video sources and multi-stream groups.
+
+A :class:`SyntheticVideoSource` turns a :class:`~repro.video.content.ContentModel`
+into a sequence of :class:`~repro.video.frame.VideoSegment` objects at a fixed
+frame rate and resolution, mirroring how the paper reads pre-recorded video
+from disk and paces it to 30 fps (Section 5.1).  A :class:`StreamGroup` models
+the MOSEI scenario where a time-varying number of concurrent streams must be
+ingested together.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.video.codec import H264SizeModel
+from repro.video.content import ContentModel, ContentState
+from repro.video.frame import VideoSegment
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Static properties of a synthetic stream.
+
+    Defaults reproduce the paper's setup: H.264 video at 1280x720 and 30 fps,
+    sliced into 2-second segments (the default knob switching period).
+    """
+
+    stream_id: str = "camera-0"
+    width: int = 1280
+    height: int = 720
+    frame_rate: float = 30.0
+    segment_seconds: float = 2.0
+    max_objects: int = 40
+
+    def __post_init__(self):
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError("resolution must be positive")
+        if self.frame_rate <= 0:
+            raise ConfigurationError("frame_rate must be positive")
+        if self.segment_seconds <= 0:
+            raise ConfigurationError("segment_seconds must be positive")
+        if self.max_objects < 1:
+            raise ConfigurationError("max_objects must be at least 1")
+
+
+class SyntheticVideoSource:
+    """Produces video segments from a deterministic content model.
+
+    Args:
+        content_model: generator of content dynamics.
+        config: stream properties (resolution, fps, segment length).
+        size_model: encoded-size model; defaults to the H.264 model calibrated
+            to the paper's 7.8 GB/day figure.
+    """
+
+    def __init__(
+        self,
+        content_model: ContentModel,
+        config: Optional[StreamConfig] = None,
+        size_model: Optional[H264SizeModel] = None,
+    ):
+        self.content_model = content_model
+        self.config = config or StreamConfig()
+        self.size_model = size_model or H264SizeModel()
+
+    @property
+    def stream_id(self) -> str:
+        return self.config.stream_id
+
+    @property
+    def segment_seconds(self) -> float:
+        return self.config.segment_seconds
+
+    def bytes_per_second(self, content: ContentState) -> float:
+        """Instantaneous encoded bitrate given the content state."""
+        segment_bytes = self.size_model.segment_bytes(
+            self.config.segment_seconds, self.config.width, self.config.height, content
+        )
+        return segment_bytes / self.config.segment_seconds
+
+    def segment_at(self, segment_index: int) -> VideoSegment:
+        """Materialize the segment with the given index."""
+        if segment_index < 0:
+            raise ConfigurationError("segment_index must be non-negative")
+        start_time = segment_index * self.config.segment_seconds
+        # Sample the content in the middle of the segment so edge effects of
+        # bursts starting exactly at a boundary do not bias the state.
+        content = self.content_model.state_at(start_time + self.config.segment_seconds / 2.0)
+        encoded_bytes = self.size_model.segment_bytes(
+            self.config.segment_seconds, self.config.width, self.config.height, content
+        )
+        ground_truth = max(int(round(content.object_density * self.config.max_objects)), 0)
+        return VideoSegment(
+            segment_index=segment_index,
+            stream_id=self.config.stream_id,
+            start_time=start_time,
+            duration=self.config.segment_seconds,
+            frame_rate=self.config.frame_rate,
+            width=self.config.width,
+            height=self.config.height,
+            content=content,
+            encoded_bytes=encoded_bytes,
+            ground_truth_objects=ground_truth,
+        )
+
+    def segments(self, start_time: float, end_time: float) -> Iterator[VideoSegment]:
+        """Yield every segment whose start lies in ``[start_time, end_time)``."""
+        if end_time < start_time:
+            raise ConfigurationError("end_time must not precede start_time")
+        first = int(math.floor(start_time / self.config.segment_seconds))
+        last = int(math.ceil(end_time / self.config.segment_seconds))
+        for index in range(first, last):
+            segment = self.segment_at(index)
+            if start_time <= segment.start_time < end_time:
+                yield segment
+
+    def record(self, start_time: float, end_time: float) -> List[VideoSegment]:
+        """Materialize a historical recording (used by the offline phase)."""
+        return list(self.segments(start_time, end_time))
+
+
+class StreamGroup:
+    """A set of concurrent streams with a time-varying active count.
+
+    The MOSEI workloads ingest a number of Twitch-like streams that follows a
+    diurnal pattern plus synthetic spikes (Section 5.2).  The group exposes
+    the number of active streams at any time and produces one representative
+    segment per active stream.
+
+    Args:
+        sources: the member streams.
+        active_count_fn: maps a timestamp to the number of active streams;
+            values are clipped to ``[1, len(sources)]``.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[SyntheticVideoSource],
+        active_count_fn: Callable[[float], float],
+    ):
+        if not sources:
+            raise ConfigurationError("a StreamGroup needs at least one source")
+        self.sources = list(sources)
+        self.active_count_fn = active_count_fn
+
+    @property
+    def max_streams(self) -> int:
+        return len(self.sources)
+
+    def active_count(self, timestamp: float) -> int:
+        """Number of active streams at ``timestamp``."""
+        raw = self.active_count_fn(timestamp)
+        return int(min(max(round(raw), 1), len(self.sources)))
+
+    def segments_at(self, segment_index: int) -> List[VideoSegment]:
+        """One segment per active stream for the given segment index."""
+        reference = self.sources[0]
+        timestamp = segment_index * reference.segment_seconds
+        count = self.active_count(timestamp)
+        return [source.segment_at(segment_index) for source in self.sources[:count]]
+
+    def load_profile(self, start_time: float, end_time: float, step_seconds: float) -> List[int]:
+        """Active-stream counts sampled over a time range (for plots/tests)."""
+        if step_seconds <= 0:
+            raise ConfigurationError("step_seconds must be positive")
+        steps = int(math.ceil((end_time - start_time) / step_seconds))
+        return [self.active_count(start_time + index * step_seconds) for index in range(steps)]

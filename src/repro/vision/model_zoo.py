@@ -1,0 +1,99 @@
+"""Cost/accuracy profiles of the simulated model variants.
+
+Several knobs in the paper select a *model size* (small / medium / large for
+TransMOT and for the sentiment classifier).  Larger models are slower but more
+robust on difficult content.  This module centralizes those profiles so
+workloads and tests agree on the numbers.
+
+The per-inference runtimes are anchored on the figures reported in the paper:
+YOLOv5 takes about 86 ms per HD frame on a Xeon core (Appendix K.2), and the
+large TransMOT variant is several times more expensive than the small one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ModelVariant:
+    """Profile of one model size.
+
+    Attributes:
+        name: variant name (``"small"``, ``"medium"``, ``"large"``).
+        seconds_per_inference: single-core on-premise runtime per inference
+            on an HD input.
+        base_accuracy: accuracy on easy content (low occlusion, good light).
+        robustness: how much of the accuracy survives on maximally difficult
+            content; effective accuracy degrades linearly from
+            ``base_accuracy`` to ``base_accuracy * robustness`` as difficulty
+            goes from 0 to 1.
+        cloud_speedup: how much faster the cloud function executes the model
+            (cloud workers are provisioned per-invocation, so heavy models
+            benefit more from offloading).
+    """
+
+    name: str
+    seconds_per_inference: float
+    base_accuracy: float
+    robustness: float
+    cloud_speedup: float
+
+    def __post_init__(self):
+        if self.seconds_per_inference <= 0:
+            raise ConfigurationError("seconds_per_inference must be positive")
+        if not 0.0 < self.base_accuracy <= 1.0:
+            raise ConfigurationError("base_accuracy must be in (0, 1]")
+        if not 0.0 <= self.robustness <= 1.0:
+            raise ConfigurationError("robustness must be in [0, 1]")
+        if self.cloud_speedup <= 0:
+            raise ConfigurationError("cloud_speedup must be positive")
+
+    def accuracy(self, difficulty: float) -> float:
+        """Effective accuracy for content of the given difficulty in [0, 1]."""
+        difficulty = min(max(difficulty, 0.0), 1.0)
+        floor = self.base_accuracy * self.robustness
+        return self.base_accuracy - (self.base_accuracy - floor) * difficulty
+
+
+#: Registry of simulated model families.  Keyed by ``(family, variant)``.
+MODEL_ZOO: Dict[str, Dict[str, ModelVariant]] = {
+    "yolo": {
+        "small": ModelVariant("small", 0.030, 0.82, 0.42, 1.6),
+        "medium": ModelVariant("medium", 0.086, 0.90, 0.62, 1.8),
+        "large": ModelVariant("large", 0.160, 0.95, 0.82, 2.0),
+    },
+    "transmot": {
+        "small": ModelVariant("small", 0.060, 0.84, 0.45, 1.7),
+        "medium": ModelVariant("medium", 0.140, 0.91, 0.65, 1.9),
+        "large": ModelVariant("large", 0.280, 0.96, 0.85, 2.1),
+    },
+    "sentiment": {
+        "small": ModelVariant("small", 0.050, 0.74, 0.55, 1.5),
+        "medium": ModelVariant("medium", 0.120, 0.83, 0.70, 1.7),
+        "large": ModelVariant("large", 0.260, 0.90, 0.85, 1.9),
+    },
+    "mask_classifier": {
+        "small": ModelVariant("small", 0.012, 0.86, 0.60, 1.5),
+        "medium": ModelVariant("medium", 0.025, 0.92, 0.75, 1.6),
+        "large": ModelVariant("large", 0.050, 0.96, 0.86, 1.8),
+    },
+}
+
+
+def get_model_variant(family: str, variant: str) -> ModelVariant:
+    """Look up a model variant; raises :class:`ConfigurationError` if unknown."""
+    if family not in MODEL_ZOO:
+        raise ConfigurationError(
+            f"unknown model family {family!r}; available: {sorted(MODEL_ZOO)}"
+        )
+    variants = MODEL_ZOO[family]
+    if variant not in variants:
+        raise ConfigurationError(
+            f"unknown variant {variant!r} of family {family!r}; "
+            f"available: {sorted(variants)}"
+        )
+    return variants[variant]

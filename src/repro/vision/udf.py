@@ -1,0 +1,100 @@
+"""UDF base types shared by all simulated vision operators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OperatorCost:
+    """Resource cost of a single operator invocation.
+
+    Attributes:
+        on_prem_seconds: single-core service time on the on-premise cluster.
+        cloud_seconds: round-trip time when the invocation is offloaded to a
+            cloud function (includes the cloud-side processing; the simulator
+            adds queuing for bandwidth separately).
+        cloud_dollars: monetary cost of one cloud invocation.
+        upload_bytes: payload uploaded to the cloud (JPEG + Base64).
+        download_bytes: payload downloaded from the cloud (detections, etc.).
+    """
+
+    on_prem_seconds: float
+    cloud_seconds: float
+    cloud_dollars: float
+    upload_bytes: int
+    download_bytes: int
+
+    def __post_init__(self):
+        if self.on_prem_seconds < 0 or self.cloud_seconds < 0:
+            raise ConfigurationError("operator runtimes must be non-negative")
+        if self.cloud_dollars < 0:
+            raise ConfigurationError("cloud cost must be non-negative")
+        if self.upload_bytes < 0 or self.download_bytes < 0:
+            raise ConfigurationError("payload sizes must be non-negative")
+
+    def scaled(self, factor: float) -> "OperatorCost":
+        """Cost of ``factor`` back-to-back invocations folded into one task."""
+        if factor < 0:
+            raise ConfigurationError("scale factor must be non-negative")
+        return OperatorCost(
+            on_prem_seconds=self.on_prem_seconds * factor,
+            cloud_seconds=self.cloud_seconds * factor,
+            cloud_dollars=self.cloud_dollars * factor,
+            upload_bytes=int(self.upload_bytes * factor),
+            download_bytes=int(self.download_bytes * factor),
+        )
+
+
+@dataclass
+class UdfOutput:
+    """Generic result of running an operator over a segment.
+
+    Attributes:
+        operator: name of the operator that produced the output.
+        entities: number of entities extracted (detections, tracks, labels).
+        quality: the operator's own reported quality metric in [0, 1]
+            (certainty, tracking success rate, ...) — this is what the user
+            code returns to Skyscraper and what the knob switcher observes.
+        true_quality: ground-truth quality in [0, 1]; only the evaluation
+            harness may look at this, never the system itself.
+        details: operator-specific extras (e.g. per-class counts).
+    """
+
+    operator: str
+    entities: float
+    quality: float
+    true_quality: float
+    details: Dict[str, float] = field(default_factory=dict)
+
+
+class VisionOperator:
+    """Base class for simulated CV operators.
+
+    Subclasses implement :meth:`invocation_cost` (resource cost of one
+    invocation under the given knob settings) and whatever domain-specific
+    quality methods they need.  The base class stores the operator name and a
+    deterministic noise scale so repeated profiling runs agree.
+    """
+
+    def __init__(self, name: str, noise_level: float = 0.02):
+        if not name:
+            raise ConfigurationError("operator name must be non-empty")
+        if noise_level < 0:
+            raise ConfigurationError("noise_level must be non-negative")
+        self.name = name
+        self.noise_level = noise_level
+
+    def invocation_cost(self, **knobs) -> OperatorCost:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def clip01(value: float) -> float:
+    """Clip a quality value into [0, 1]."""
+    return float(min(max(value, 0.0), 1.0))

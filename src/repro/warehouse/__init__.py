@@ -1,0 +1,26 @@
+"""The Load step: a small in-memory relational store for extracted entities.
+
+After the Transform step, V-ETL loads the extracted entities into a query
+engine so users can issue SQL-style queries (the paper's EV example is a
+``COUNT`` over a ``Detections`` table grouped by camera id).  This package
+provides a compact columnar table store with filtering, grouping and
+aggregation — enough to run every query the paper's motivation section
+mentions, without any external database dependency.
+"""
+
+from repro.warehouse.table import Column, Table
+from repro.warehouse.database import VideoWarehouse
+from repro.warehouse.query import Query, AggregateSpec
+from repro.warehouse.loader import EntityLoader, DetectionRecord, TrackRecord, SentimentRecord
+
+__all__ = [
+    "Column",
+    "Table",
+    "VideoWarehouse",
+    "Query",
+    "AggregateSpec",
+    "EntityLoader",
+    "DetectionRecord",
+    "TrackRecord",
+    "SentimentRecord",
+]

@@ -1,0 +1,135 @@
+"""Loading extracted entities into the warehouse.
+
+The Load step converts the Transform step's outputs (detections, tracks,
+sentiment labels) into rows of the warehouse tables.  The loader is
+deliberately dumb: it validates, maps field names, and batches inserts — all
+the intelligence lives in the Transform step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import QueryError
+from repro.warehouse.database import VideoWarehouse
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """One per-segment detection summary emitted by a workload."""
+
+    camera_id: str
+    segment_index: int
+    timestamp: float
+    category: str
+    count: int
+    mean_confidence: float
+
+
+@dataclass(frozen=True)
+class TrackRecord:
+    """One per-segment tracking summary emitted by a workload."""
+
+    camera_id: str
+    segment_index: int
+    timestamp: float
+    tracked_objects: int
+    lost_tracks: int
+    mean_certainty: float
+
+
+@dataclass(frozen=True)
+class SentimentRecord:
+    """One per-segment sentiment label emitted by the MOSEI workload."""
+
+    stream_id: str
+    segment_index: int
+    timestamp: float
+    sentiment: str
+    certainty: float
+
+
+class EntityLoader:
+    """Loads entity records into a :class:`VideoWarehouse`.
+
+    Args:
+        warehouse: target warehouse; the standard tables are created lazily
+            on first use.
+    """
+
+    def __init__(self, warehouse: Optional[VideoWarehouse] = None):
+        self.warehouse = warehouse or VideoWarehouse()
+        self.loaded_rows = 0
+
+    def _ensure(self, table_name: str, factory) -> None:
+        if table_name not in self.warehouse:
+            factory(table_name)
+
+    def load_detections(self, records: Iterable[DetectionRecord]) -> int:
+        """Insert detection records; returns the number of rows loaded."""
+        self._ensure("detections", self.warehouse.create_detections_table)
+        table = self.warehouse.table("detections")
+        count = table.insert_many(
+            {
+                "camera_id": record.camera_id,
+                "segment_index": record.segment_index,
+                "timestamp": record.timestamp,
+                "category": record.category,
+                "count": record.count,
+                "mean_confidence": record.mean_confidence,
+            }
+            for record in records
+        )
+        self.loaded_rows += count
+        return count
+
+    def load_tracks(self, records: Iterable[TrackRecord]) -> int:
+        """Insert tracking records; returns the number of rows loaded."""
+        self._ensure("tracks", self.warehouse.create_tracks_table)
+        table = self.warehouse.table("tracks")
+        count = table.insert_many(
+            {
+                "camera_id": record.camera_id,
+                "segment_index": record.segment_index,
+                "timestamp": record.timestamp,
+                "tracked_objects": record.tracked_objects,
+                "lost_tracks": record.lost_tracks,
+                "mean_certainty": record.mean_certainty,
+            }
+            for record in records
+        )
+        self.loaded_rows += count
+        return count
+
+    def load_sentiments(self, records: Iterable[SentimentRecord]) -> int:
+        """Insert sentiment records; returns the number of rows loaded."""
+        self._ensure("sentiments", self.warehouse.create_sentiment_table)
+        table = self.warehouse.table("sentiments")
+        count = table.insert_many(
+            {
+                "stream_id": record.stream_id,
+                "segment_index": record.segment_index,
+                "timestamp": record.timestamp,
+                "sentiment": record.sentiment,
+                "certainty": record.certainty,
+            }
+            for record in records
+        )
+        self.loaded_rows += count
+        return count
+
+    def ev_counts_by_camera(self) -> dict:
+        """The EV example query: EV detections per camera (Section 1)."""
+        if "detections" not in self.warehouse:
+            raise QueryError("no detections have been loaded yet")
+        from repro.warehouse.query import AggregateSpec
+
+        rows = (
+            self.warehouse.query("detections")
+            .where_equals("category", "ev")
+            .group_by("camera_id")
+            .aggregate(AggregateSpec("sum", "count", "ev_count"))
+            .run()
+        )
+        return {row["camera_id"]: row["ev_count"] for row in rows}

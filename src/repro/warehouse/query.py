@@ -1,0 +1,161 @@
+"""A tiny query layer: filter, group-by, aggregate.
+
+This is intentionally small — just enough to express the paper's motivating
+queries ("count detections where the car is an EV, grouped by camera id") in a
+fluent style::
+
+    (Query(detections)
+        .where(lambda row: row["category"] == "ev")
+        .group_by("camera_id")
+        .aggregate(AggregateSpec("count", "*", "ev_count"))
+        .run())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.warehouse.table import Table
+
+_AGGREGATE_FUNCTIONS = {"count", "sum", "avg", "min", "max"}
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate of a query.
+
+    Attributes:
+        function: one of ``count``, ``sum``, ``avg``, ``min``, ``max``.
+        column: input column name, or ``"*"`` for ``count``.
+        alias: name of the output column.
+    """
+
+    function: str
+    column: str
+    alias: str
+
+    def __post_init__(self):
+        if self.function not in _AGGREGATE_FUNCTIONS:
+            raise QueryError(
+                f"unknown aggregate {self.function!r}; choose from {sorted(_AGGREGATE_FUNCTIONS)}"
+            )
+        if self.function != "count" and self.column == "*":
+            raise QueryError("only count may aggregate over '*'")
+
+    def compute(self, values: Sequence[Any]) -> Any:
+        if self.function == "count":
+            return len(values)
+        numeric = [value for value in values if value is not None]
+        if not numeric:
+            return None
+        if self.function == "sum":
+            return sum(numeric)
+        if self.function == "avg":
+            return sum(numeric) / len(numeric)
+        if self.function == "min":
+            return min(numeric)
+        return max(numeric)
+
+
+class Query:
+    """A fluent query over a :class:`~repro.warehouse.table.Table`."""
+
+    def __init__(self, table: Table):
+        self._table = table
+        self._predicates: List[Callable[[Dict[str, Any]], bool]] = []
+        self._group_columns: List[str] = []
+        self._aggregates: List[AggregateSpec] = []
+        self._order_by: Optional[Tuple[str, bool]] = None
+        self._limit: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+    def where(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Query":
+        """Filter rows by an arbitrary predicate; multiple calls AND together."""
+        self._predicates.append(predicate)
+        return self
+
+    def where_equals(self, column: str, value: Any) -> "Query":
+        """Filter rows where ``column == value``."""
+        if column not in self._table.column_names:
+            raise QueryError(f"unknown column {column!r}")
+        return self.where(lambda row: row[column] == value)
+
+    def where_between(self, column: str, low: Any, high: Any) -> "Query":
+        """Filter rows where ``low <= column <= high``."""
+        if column not in self._table.column_names:
+            raise QueryError(f"unknown column {column!r}")
+        return self.where(lambda row: low <= row[column] <= high)
+
+    def group_by(self, *columns: str) -> "Query":
+        missing = [name for name in columns if name not in self._table.column_names]
+        if missing:
+            raise QueryError(f"cannot group by unknown columns: {missing}")
+        self._group_columns = list(columns)
+        return self
+
+    def aggregate(self, *specs: AggregateSpec) -> "Query":
+        self._aggregates = list(specs)
+        return self
+
+    def order_by(self, column: str, descending: bool = False) -> "Query":
+        self._order_by = (column, descending)
+        return self
+
+    def limit(self, count: int) -> "Query":
+        if count < 0:
+            raise QueryError("limit must be non-negative")
+        self._limit = count
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self) -> List[Dict[str, Any]]:
+        """Execute the query and return result rows as dictionaries."""
+        rows = [row for row in self._table.rows() if self._passes(row)]
+
+        if self._group_columns or self._aggregates:
+            rows = self._aggregate_rows(rows)
+
+        if self._order_by is not None:
+            column, descending = self._order_by
+            if rows and column not in rows[0]:
+                raise QueryError(f"cannot order by unknown output column {column!r}")
+            rows.sort(key=lambda row: row[column], reverse=descending)
+
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        return rows
+
+    def count(self) -> int:
+        """Number of rows matching the filters (ignores grouping)."""
+        return sum(1 for row in self._table.rows() if self._passes(row))
+
+    def _passes(self, row: Dict[str, Any]) -> bool:
+        return all(predicate(row) for predicate in self._predicates)
+
+    def _aggregate_rows(self, rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        if not self._aggregates:
+            raise QueryError("group_by requires at least one aggregate")
+        groups: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
+        for row in rows:
+            key = tuple(row[column] for column in self._group_columns)
+            groups.setdefault(key, []).append(row)
+        if not self._group_columns and not groups:
+            groups[()] = []
+
+        results: List[Dict[str, Any]] = []
+        for key, members in groups.items():
+            output: Dict[str, Any] = dict(zip(self._group_columns, key))
+            for spec in self._aggregates:
+                if spec.column == "*":
+                    values: Sequence[Any] = members
+                else:
+                    values = [member[spec.column] for member in members]
+                output[spec.alias] = spec.compute(values)
+            results.append(output)
+        return results

@@ -1,0 +1,146 @@
+"""Columnar in-memory tables.
+
+A :class:`Table` stores rows column-wise in plain Python lists (values are
+heterogeneous: strings, ints, floats, bools).  It supports appending rows,
+selecting, filtering and projecting — the minimal operations the warehouse
+query layer builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Column:
+    """Schema entry of one column.
+
+    Attributes:
+        name: column name.
+        dtype: expected Python type (``int``, ``float``, ``str``, ``bool``).
+        nullable: whether ``None`` values are allowed.
+    """
+
+    name: str
+    dtype: type
+    nullable: bool = False
+
+    def validate(self, value: Any) -> Any:
+        """Check (and lightly coerce) a value for this column."""
+        if value is None:
+            if self.nullable:
+                return None
+            raise QueryError(f"column {self.name!r} does not allow null values")
+        if self.dtype is float and isinstance(value, int):
+            return float(value)
+        if not isinstance(value, self.dtype):
+            raise QueryError(
+                f"column {self.name!r} expects {self.dtype.__name__}, "
+                f"got {type(value).__name__}"
+            )
+        return value
+
+
+class Table:
+    """A columnar table with a fixed schema.
+
+    Args:
+        name: table name.
+        schema: ordered column definitions.
+    """
+
+    def __init__(self, name: str, schema: Sequence[Column]):
+        if not name:
+            raise QueryError("table name must be non-empty")
+        if not schema:
+            raise QueryError("a table needs at least one column")
+        names = [column.name for column in schema]
+        if len(set(names)) != len(names):
+            raise QueryError("duplicate column names in schema")
+        self.name = name
+        self.schema = list(schema)
+        self._columns: Dict[str, List[Any]] = {column.name: [] for column in schema}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.schema]
+
+    def __len__(self) -> int:
+        return len(next(iter(self._columns.values())))
+
+    def column(self, name: str) -> List[Any]:
+        """The raw value list of a column (a copy, to preserve encapsulation)."""
+        if name not in self._columns:
+            raise QueryError(f"table {self.name!r} has no column {name!r}")
+        return list(self._columns[name])
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, row: Mapping[str, Any]) -> None:
+        """Append one row given as a mapping from column name to value."""
+        unknown = [key for key in row if key not in self._columns]
+        if unknown:
+            raise QueryError(f"row references unknown columns: {unknown}")
+        validated: Dict[str, Any] = {}
+        for column in self.schema:
+            if column.name not in row:
+                if column.nullable:
+                    validated[column.name] = None
+                    continue
+                raise QueryError(f"row misses value for column {column.name!r}")
+            validated[column.name] = column.validate(row[column.name])
+        for name, value in validated.items():
+            self._columns[name].append(value)
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Append many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Row access
+    # ------------------------------------------------------------------ #
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        """Iterate over rows as dictionaries."""
+        for index in range(len(self)):
+            yield {name: values[index] for name, values in self._columns.items()}
+
+    def row(self, index: int) -> Dict[str, Any]:
+        if not 0 <= index < len(self):
+            raise QueryError(f"row index {index} out of range for table {self.name!r}")
+        return {name: values[index] for name, values in self._columns.items()}
+
+    # ------------------------------------------------------------------ #
+    # Relational operations
+    # ------------------------------------------------------------------ #
+    def filter(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Table":
+        """New table containing the rows for which ``predicate`` is true."""
+        result = Table(self.name, self.schema)
+        for row in self.rows():
+            if predicate(row):
+                result.insert(row)
+        return result
+
+    def project(self, columns: Sequence[str]) -> "Table":
+        """New table with only the requested columns."""
+        missing = [name for name in columns if name not in self._columns]
+        if missing:
+            raise QueryError(f"cannot project unknown columns: {missing}")
+        schema = [column for column in self.schema if column.name in columns]
+        result = Table(self.name, schema)
+        for row in self.rows():
+            result.insert({name: row[name] for name in columns})
+        return result
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        return list(self.rows())

@@ -1,0 +1,30 @@
+"""The paper's evaluation workloads, built on the synthetic substrates.
+
+* :mod:`repro.workloads.ev` — the introduction's EV-counting example
+  (object detector + tracker, Figure 1/Figure 3);
+* :mod:`repro.workloads.covid` — COVID-19 safety measures: pedestrian
+  detection, tracking, mask classification and social distancing;
+* :mod:`repro.workloads.mot` — multi-object tracking with a TransMOT-style
+  tracker;
+* :mod:`repro.workloads.mosei` — multimodal opinion sentiment over a varying
+  number of concurrent streams (MOSEI-HIGH and MOSEI-LONG spike patterns).
+"""
+
+from repro.workloads.base import BaseWorkload, WorkloadSetup
+from repro.workloads.ev import EVCountingWorkload, make_ev_setup
+from repro.workloads.covid import CovidWorkload, make_covid_setup
+from repro.workloads.mot import MotWorkload, make_mot_setup
+from repro.workloads.mosei import MoseiWorkload, make_mosei_setup
+
+__all__ = [
+    "BaseWorkload",
+    "WorkloadSetup",
+    "EVCountingWorkload",
+    "make_ev_setup",
+    "CovidWorkload",
+    "make_covid_setup",
+    "MotWorkload",
+    "make_mot_setup",
+    "MoseiWorkload",
+    "make_mosei_setup",
+]

@@ -1,0 +1,132 @@
+"""Shared workload machinery.
+
+Every workload implements the :class:`~repro.core.interfaces.VETLWorkload`
+protocol: it owns a knob space, expands a knob configuration into a task graph
+for a segment, and evaluates the (reported and ground-truth) quality of
+processing a segment with a configuration.  Evaluations must be deterministic
+given (configuration, segment), so the noise the simulated CV operators would
+naturally exhibit is generated from a hash of those two inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.interfaces import SegmentOutcome
+from repro.core.knobs import KnobConfiguration, KnobSpace
+from repro.errors import WorkloadError
+from repro.video.content import ContentModel
+from repro.video.frame import VideoSegment
+from repro.video.stream import StreamConfig, SyntheticVideoSource
+from repro.vision.dag import TaskGraph
+
+
+@dataclass
+class WorkloadSetup:
+    """A workload together with the stream it ingests.
+
+    The setup bundles everything an experiment needs: the workload object,
+    the video source that produces its stream, and the time window the
+    offline phase may use as historical data.
+    """
+
+    workload: "BaseWorkload"
+    source: SyntheticVideoSource
+    history_days: float
+    online_days: float
+
+    @property
+    def online_start(self) -> float:
+        """First timestamp of the online phase (right after the history)."""
+        return self.history_days * 86_400.0
+
+    @property
+    def online_end(self) -> float:
+        return (self.history_days + self.online_days) * 86_400.0
+
+
+class BaseWorkload:
+    """Common functionality of the concrete workloads.
+
+    Args:
+        name: workload name.
+        knob_space: the registered knobs.
+        content_model: content dynamics of the workload's stream (used for the
+            representative segment).
+        stream_config: stream properties (resolution, fps, segment length).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        knob_space: KnobSpace,
+        content_model: ContentModel,
+        stream_config: Optional[StreamConfig] = None,
+    ):
+        if not name:
+            raise WorkloadError("workload name must be non-empty")
+        self.name = name
+        self.knob_space = knob_space
+        self.content_model = content_model
+        self.stream_config = stream_config or StreamConfig(stream_id=f"{name}-camera")
+        self._source = SyntheticVideoSource(content_model, self.stream_config)
+
+    # ------------------------------------------------------------------ #
+    # VETLWorkload protocol pieces shared by all workloads
+    # ------------------------------------------------------------------ #
+    def make_source(self) -> SyntheticVideoSource:
+        """A video source producing this workload's stream."""
+        return SyntheticVideoSource(self.content_model, self.stream_config)
+
+    def representative_segment(self) -> VideoSegment:
+        """A busy mid-day segment used for runtime profiling.
+
+        Runtime profiling should reflect typical-to-heavy content so the
+        profiled runtimes are conservative, mirroring how the paper profiles
+        on sampled real segments.
+        """
+        midday_index = int((12.5 * 3_600.0) / self.stream_config.segment_seconds)
+        return self._source.segment_at(midday_index)
+
+    def build_task_graph(
+        self, configuration: KnobConfiguration, segment: VideoSegment
+    ) -> TaskGraph:
+        raise NotImplementedError
+
+    def evaluate(
+        self, configuration: KnobConfiguration, segment: VideoSegment
+    ) -> SegmentOutcome:
+        raise NotImplementedError
+
+    def quality_weight(self, segment: VideoSegment) -> float:
+        """How much this segment contributes to the workload's quality metric.
+
+        The paper's quality metrics are entity weighted (person-seconds,
+        tracked pedestrians, ingested streams), so a busy rush-hour segment
+        matters much more than an empty night-time one.  Workloads with a
+        different notion of weight override this.
+        """
+        return float(max(segment.ground_truth_objects, 1))
+
+    # ------------------------------------------------------------------ #
+    # Deterministic noise
+    # ------------------------------------------------------------------ #
+    def _noise(
+        self, configuration: KnobConfiguration, segment: VideoSegment, channel: str, scale: float
+    ) -> float:
+        """Deterministic zero-mean noise in ``[-scale, scale]``.
+
+        The value depends only on the workload, the configuration, the segment
+        index and a channel label, so repeated evaluations of the same
+        (configuration, segment) pair agree exactly.
+        """
+        key = f"{self.name}|{configuration.short_label()}|{segment.segment_index}|{channel}"
+        digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+        unit = int.from_bytes(digest, "little") / float(2**64)
+        return (unit * 2.0 - 1.0) * scale
+
+    @staticmethod
+    def _clip01(value: float) -> float:
+        return float(min(max(value, 0.0), 1.0))

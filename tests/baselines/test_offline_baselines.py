@@ -1,0 +1,77 @@
+"""Tests for the Optimum and idealized (Appendix B.1) offline baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.idealized import idealized_assignment, time_of_day_forecast
+from repro.baselines.optimum import optimum_assignment
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def setup(fitted_skyscraper, covid_workload, covid_source):
+    profiles = fitted_skyscraper.profiles
+    history = [covid_source.segment_at(index) for index in range(0, 10_000, 40)]
+    future = [covid_source.segment_at(index) for index in range(11_000, 16_000, 25)]
+    return covid_workload, profiles, history, future
+
+
+def test_optimum_quality_increases_with_budget(setup):
+    workload, profiles, _, future = setup
+    cheap_budget = profiles.cheapest().work_core_seconds * len(future) * 1.2
+    rich_budget = profiles.most_expensive().work_core_seconds * len(future)
+    poor = optimum_assignment(workload, profiles, future, cheap_budget)
+    rich = optimum_assignment(workload, profiles, future, rich_budget)
+    assert rich.mean_quality >= poor.mean_quality
+    assert poor.total_work_core_seconds <= cheap_budget + 1e-6
+    assert set(poor.choices) == {segment.segment_index for segment in future}
+
+
+def test_optimum_beats_any_static_assignment_at_equal_work(setup):
+    workload, profiles, _, future = setup
+    # Budget equal to running the mid configuration everywhere.
+    mid = profiles.by_work_ascending()[len(profiles) // 2]
+    budget = mid.work_core_seconds * len(future)
+    optimum = optimum_assignment(workload, profiles, future, budget)
+    static_quality = float(
+        np.mean([workload.evaluate(mid.configuration, segment).true_quality for segment in future])
+    )
+    assert optimum.mean_quality >= static_quality - 1e-6
+
+
+def test_optimum_validation(setup):
+    workload, profiles, _, future = setup
+    with pytest.raises(ConfigurationError):
+        optimum_assignment(workload, profiles, [], 10.0)
+    with pytest.raises(ConfigurationError):
+        optimum_assignment(workload, profiles, future, 0.0)
+
+
+def test_time_of_day_forecast_reflects_diurnal_difficulty(setup, covid_source):
+    workload, profiles, history, _ = setup
+    forecast = time_of_day_forecast(workload, profiles, history, bucket_seconds=1800.0)
+    cheapest_index = profiles.index_of(profiles.cheapest().configuration)
+    # Pick a night-time and a rush-hour segment explicitly (the history covers
+    # hours 0 to ~5.5 of the day, so use buckets within that range).
+    night_segment = covid_source.segment_at(int(2.0 * 3600.0 / covid_source.segment_seconds))
+    busy_segment = covid_source.segment_at(int(5.0 * 3600.0 / covid_source.segment_seconds))
+    assert forecast(cheapest_index, night_segment) >= forecast(cheapest_index, busy_segment) - 0.05
+
+
+def test_idealized_assignment_is_at_most_optimum(setup):
+    workload, profiles, history, future = setup
+    budget = profiles.by_work_ascending()[len(profiles) // 2].work_core_seconds * len(future)
+    idealized = idealized_assignment(workload, profiles, history, future, budget)
+    optimum = optimum_assignment(workload, profiles, future, budget)
+    # The idealized design optimizes a forecast, so its realized quality cannot
+    # beat the ground-truth optimum (Figure 16's gap).
+    assert idealized.total_quality <= optimum.total_quality + 1e-6
+    assert idealized.total_work_core_seconds <= budget * 1.05
+
+
+def test_idealized_requires_history(setup):
+    workload, profiles, _, future = setup
+    with pytest.raises(ConfigurationError):
+        time_of_day_forecast(workload, profiles, [], bucket_seconds=900.0)
+    with pytest.raises(ConfigurationError):
+        time_of_day_forecast(workload, profiles, future, bucket_seconds=0.0)

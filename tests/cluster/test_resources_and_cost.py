@@ -1,0 +1,96 @@
+"""Tests for resource specs and the monetary cost model."""
+
+import pytest
+
+from repro.cluster.cost import (
+    CLOUD_TO_ON_PREM_RATIO,
+    CostModel,
+    GCP_MACHINES,
+    MachineType,
+    machine_for_cores,
+)
+from repro.cluster.resources import CloudFunctionPricing, CloudSpec, ClusterSpec, no_cloud_spec
+from repro.errors import ConfigurationError
+
+
+def test_machine_catalogue_matches_paper_prices():
+    """The five GCP tiers and list prices from Section 5.3."""
+    assert GCP_MACHINES["e2-standard-4"].dollars_per_hour == pytest.approx(0.14)
+    assert GCP_MACHINES["e2-standard-8"].dollars_per_hour == pytest.approx(0.27)
+    assert GCP_MACHINES["e2-standard-16"].dollars_per_hour == pytest.approx(0.54)
+    assert GCP_MACHINES["e2-standard-32"].dollars_per_hour == pytest.approx(1.07)
+    assert GCP_MACHINES["c2-standard-60"].dollars_per_hour == pytest.approx(2.51)
+    assert GCP_MACHINES["c2-standard-60"].vcpus == 60
+
+
+def test_table2_static_cost_reproduced():
+    """Table 2: 8 days on e2-standard-4 cost 14.9$ after the 1.8x discount."""
+    cost_model = CostModel()
+    machine = GCP_MACHINES["e2-standard-4"]
+    total = cost_model.provisioned_machine_dollars(machine, hours=8 * 24)
+    assert total == pytest.approx(14.9, abs=0.1)
+    machine_60 = GCP_MACHINES["c2-standard-60"]
+    assert cost_model.provisioned_machine_dollars(machine_60, 8 * 24) == pytest.approx(267.7, abs=0.5)
+
+
+def test_cloud_work_ratio():
+    cost_model = CostModel(cloud_to_on_prem_ratio=1.8)
+    on_prem = cost_model.on_prem_work_dollars(3600.0)
+    cloud = cost_model.cloud_work_dollars(3600.0)
+    assert cloud / on_prem == pytest.approx(1.8)
+    assert cost_model.total_work_dollars(3600.0, 3600.0) == pytest.approx(on_prem + cloud)
+
+
+def test_machine_for_cores_picks_smallest_sufficient():
+    assert machine_for_cores(4).name == "e2-standard-4"
+    assert machine_for_cores(10).name == "e2-standard-16"
+    assert machine_for_cores(100).name == "c2-standard-60"
+    with pytest.raises(ConfigurationError):
+        machine_for_cores(0)
+
+
+def test_machine_type_validation():
+    with pytest.raises(ConfigurationError):
+        MachineType("bad", 0, 1.0, 0.1)
+    machine = GCP_MACHINES["e2-standard-8"]
+    assert machine.dollars_per_core_hour() == pytest.approx(0.27 / 8)
+    with pytest.raises(ConfigurationError):
+        machine.dollars_for(-1.0)
+
+
+def test_cost_model_validation():
+    with pytest.raises(ConfigurationError):
+        CostModel(cloud_to_on_prem_ratio=0.0)
+    with pytest.raises(ConfigurationError):
+        CostModel().on_prem_work_dollars(-1.0)
+
+
+def test_cluster_spec():
+    spec = ClusterSpec(cores=8)
+    assert spec.core_seconds_per_wall_second() == 8.0
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(cores=0)
+
+
+def test_cloud_spec_bandwidth_and_pricing():
+    cloud = CloudSpec(uplink_bytes_per_second=1_000_000)
+    assert cloud.upload_seconds(500_000) == pytest.approx(0.5)
+    assert cloud.download_seconds(0) == 0.0
+    pricing = CloudFunctionPricing()
+    one_second = pricing.dollars_for(1.0)
+    assert one_second == pytest.approx(3.0 * 0.0000166667 + 0.0000002, rel=1e-3)
+    with pytest.raises(ConfigurationError):
+        pricing.dollars_for(-1.0)
+    with pytest.raises(ConfigurationError):
+        CloudSpec(max_concurrency=0)
+    with pytest.raises(ConfigurationError):
+        cloud.upload_seconds(-1)
+
+
+def test_no_cloud_spec_disables_budget():
+    spec = no_cloud_spec()
+    assert spec.daily_budget_dollars == 0.0
+
+
+def test_appendix_l_ratio_constant():
+    assert CLOUD_TO_ON_PREM_RATIO == pytest.approx(1.8)

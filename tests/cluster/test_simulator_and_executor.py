@@ -1,0 +1,181 @@
+"""Tests for the Appendix-M simulator, the reference executor and the profiler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.executor import ReferenceExecutor
+from repro.cluster.profiler import profile_placements
+from repro.cluster.resources import CloudSpec
+from repro.cluster.simulator import PlacementSimulator
+from repro.errors import ConfigurationError
+from repro.vision.dag import Task, TaskGraph
+from repro.vision.udf import OperatorCost
+
+
+def _cost(seconds=1.0, cloud_seconds=None, upload=200_000):
+    return OperatorCost(
+        on_prem_seconds=seconds,
+        cloud_seconds=cloud_seconds if cloud_seconds is not None else seconds / 2 + 0.12,
+        cloud_dollars=seconds * 5e-5,
+        upload_bytes=upload,
+        download_bytes=4_000,
+    )
+
+
+def _parallel_graph(n_tasks=8, seconds=1.0):
+    graph = TaskGraph()
+    for index in range(n_tasks):
+        graph.add_task(Task(f"task{index}", "yolo", _cost(seconds)))
+    return graph
+
+
+def _chain_graph(n_tasks=4, seconds=1.0):
+    graph = TaskGraph()
+    previous = None
+    for index in range(n_tasks):
+        deps = [previous] if previous else []
+        graph.add_task(Task(f"task{index}", "op", _cost(seconds)), depends_on=deps)
+        previous = f"task{index}"
+    return graph
+
+
+# --------------------------------------------------------------------- #
+# Simulator
+# --------------------------------------------------------------------- #
+def test_parallel_tasks_scale_with_cores():
+    graph = _parallel_graph(n_tasks=8, seconds=1.0)
+    placement = graph.all_on_prem_placement()
+    one_core = PlacementSimulator(cores=1).simulate(graph, placement)
+    four_cores = PlacementSimulator(cores=4).simulate(graph, placement)
+    eight_cores = PlacementSimulator(cores=8).simulate(graph, placement)
+    assert one_core.makespan_seconds == pytest.approx(8.0)
+    assert four_cores.makespan_seconds == pytest.approx(2.0)
+    assert eight_cores.makespan_seconds == pytest.approx(1.0)
+    assert one_core.on_prem_core_seconds == pytest.approx(8.0)
+
+
+def test_chain_is_not_parallelizable():
+    graph = _chain_graph(n_tasks=4, seconds=1.0)
+    result = PlacementSimulator(cores=16).simulate(graph, graph.all_on_prem_placement())
+    assert result.makespan_seconds == pytest.approx(4.0)
+
+
+def test_cloud_placement_accounts_for_uplink_and_cost():
+    cloud = CloudSpec(uplink_bytes_per_second=1_000_000, round_trip_seconds=0.1)
+    graph = _parallel_graph(n_tasks=4, seconds=1.0)
+    placement = graph.all_cloud_placement()
+    result = PlacementSimulator(cores=1, cloud=cloud).simulate(graph, placement)
+    # Uploads serialize on the uplink: 4 * 0.2 s of upload time.
+    assert result.makespan_seconds >= 0.8
+    assert result.cloud_dollars > 0.0
+    assert result.upload_bytes == 800_000
+    assert result.on_prem_core_seconds == 0.0
+
+
+def test_offloading_helps_when_cores_are_scarce():
+    graph = _parallel_graph(n_tasks=8, seconds=1.0)
+    simulator = PlacementSimulator(cores=2, cloud=CloudSpec())
+    on_prem = simulator.simulate(graph, graph.all_on_prem_placement())
+    half_cloud = {
+        name: ("cloud" if index % 2 == 0 else "on_prem")
+        for index, name in enumerate(graph.task_names)
+    }
+    mixed = simulator.simulate(graph, half_cloud)
+    assert mixed.makespan_seconds < on_prem.makespan_seconds
+
+
+def test_simulator_validation():
+    with pytest.raises(ConfigurationError):
+        PlacementSimulator(cores=0)
+    graph = _parallel_graph(2)
+    with pytest.raises(Exception):
+        PlacementSimulator(cores=1).simulate(graph, {"task0": "on_prem"})
+
+
+# --------------------------------------------------------------------- #
+# Reference executor vs. simulator (the Figure 22/23 relationship)
+# --------------------------------------------------------------------- #
+def test_simulator_overestimates_reference_executor_slightly():
+    graph = _parallel_graph(n_tasks=12, seconds=0.8)
+    placement = graph.all_on_prem_placement()
+    simulated = PlacementSimulator(cores=4).simulate(graph, placement)
+    executed = ReferenceExecutor(cores=4, seed=1).execute(graph, placement)
+    error = (simulated.makespan_seconds - executed.makespan_seconds) / executed.makespan_seconds
+    # The paper reports errors below ~9%, always overestimating.
+    assert -0.02 <= error <= 0.15
+
+
+def test_executor_trace_is_complete_and_ordered():
+    graph = _chain_graph(n_tasks=3)
+    trace = ReferenceExecutor(cores=2, seed=0).execute(graph, graph.all_on_prem_placement())
+    assert len(trace.completions) == 3
+    finishes = [completion.finish_seconds for completion in trace.completions]
+    assert finishes == sorted(finishes)
+    assert trace.finish_time("task2") == pytest.approx(trace.makespan_seconds)
+    with pytest.raises(ConfigurationError):
+        trace.finish_time("missing")
+
+
+def test_executor_cloud_spikes_are_rare_but_possible():
+    graph = _parallel_graph(n_tasks=40, seconds=0.2)
+    executor = ReferenceExecutor(
+        cores=2, cloud_spike_probability=1.0, cloud_spike_seconds=1.0, seed=3
+    )
+    spiky = executor.execute(graph, graph.all_cloud_placement())
+    calm = ReferenceExecutor(cores=2, cloud_spike_probability=0.0, seed=3).execute(
+        graph, graph.all_cloud_placement()
+    )
+    assert spiky.makespan_seconds > calm.makespan_seconds
+
+
+def test_executor_validation():
+    with pytest.raises(ConfigurationError):
+        ReferenceExecutor(cores=0)
+    with pytest.raises(ConfigurationError):
+        ReferenceExecutor(cores=1, efficiency_gain=1.5)
+
+
+# --------------------------------------------------------------------- #
+# Placement profiling
+# --------------------------------------------------------------------- #
+def test_profile_placements_pareto_and_order():
+    graph = _parallel_graph(n_tasks=6, seconds=1.0)
+    profiles = profile_placements(graph, cores=2)
+    assert profiles[0].cloud_dollars <= profiles[-1].cloud_dollars
+    assert any(profile.is_fully_on_prem for profile in profiles)
+    # Pareto: no profile may dominate another on (cloud cost, runtime).
+    for first in profiles:
+        for second in profiles:
+            if first is second:
+                continue
+            dominates = (
+                first.cloud_dollars <= second.cloud_dollars
+                and first.runtime_seconds <= second.runtime_seconds
+                and (
+                    first.cloud_dollars < second.cloud_dollars
+                    or first.runtime_seconds < second.runtime_seconds
+                )
+            )
+            assert not dominates
+
+
+def test_profile_placements_cloud_disabled():
+    graph = _parallel_graph(n_tasks=4)
+    cloud = CloudSpec(daily_budget_dollars=0.0)
+    profiles = profile_placements(graph, cores=2, cloud=cloud)
+    assert len(profiles) == 1
+    assert profiles[0].is_fully_on_prem
+    assert profiles[0].cloud_dollars == 0.0
+
+
+def test_profile_runtime_is_throughput_bound():
+    graph = _parallel_graph(n_tasks=8, seconds=1.0)
+    profiles = profile_placements(graph, cores=4, keep_pareto_only=False)
+    on_prem = [profile for profile in profiles if profile.is_fully_on_prem][0]
+    assert on_prem.runtime_seconds == pytest.approx(8.0 / 4.0)
+    assert on_prem.makespan_seconds >= on_prem.runtime_seconds - 1e-9
+
+
+def test_profile_placements_validation():
+    with pytest.raises(ConfigurationError):
+        profile_placements(_parallel_graph(2), cores=0)

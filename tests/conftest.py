@@ -1,0 +1,70 @@
+"""Shared pytest fixtures.
+
+The heavyweight fixtures (a fitted Skyscraper bundle) are session scoped so
+the end-to-end tests do not re-run the offline phase for every test function.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.skyscraper import Skyscraper, SkyscraperResources
+from repro.video.content import ContentModel
+from repro.video.stream import StreamConfig, SyntheticVideoSource
+from repro.workloads.covid import CovidWorkload, make_covid_setup
+from repro.workloads.ev import EVCountingWorkload
+from repro.workloads.mot import MotWorkload
+from repro.workloads.mosei import MoseiWorkload
+
+
+@pytest.fixture(scope="session")
+def covid_workload() -> CovidWorkload:
+    return CovidWorkload(seed=7)
+
+
+@pytest.fixture(scope="session")
+def ev_workload() -> EVCountingWorkload:
+    return EVCountingWorkload(seed=3)
+
+
+@pytest.fixture(scope="session")
+def mot_workload() -> MotWorkload:
+    return MotWorkload(seed=11)
+
+
+@pytest.fixture(scope="session")
+def mosei_workload() -> MoseiWorkload:
+    return MoseiWorkload(variant="high", seed=23)
+
+
+@pytest.fixture(scope="session")
+def covid_source(covid_workload) -> SyntheticVideoSource:
+    return covid_workload.make_source()
+
+
+@pytest.fixture(scope="session")
+def content_model() -> ContentModel:
+    return ContentModel(seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_source(content_model) -> SyntheticVideoSource:
+    return SyntheticVideoSource(content_model, StreamConfig(stream_id="test-cam"))
+
+
+@pytest.fixture(scope="session")
+def fitted_skyscraper(covid_workload, covid_source) -> Skyscraper:
+    """A Skyscraper instance fitted on a small slice of COVID history."""
+    resources = SkyscraperResources(cores=8, buffer_bytes=2_000_000_000, cloud_budget_per_day=2.0)
+    sky = Skyscraper(covid_workload, resources, n_categories=3, seed=0)
+    sky.fit(
+        covid_source,
+        unlabeled_days=0.5,
+        labeled_minutes=10.0,
+        n_presample_segments=60,
+        n_category_samples=80,
+        forecast_label_period_seconds=120.0,
+        max_configurations=5,
+        train_forecaster=False,
+    )
+    return sky

@@ -1,0 +1,191 @@
+"""Tests for content categorization (Section 3.2) and forecasting (Section 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.categorizer import ContentCategorizer
+from repro.core.forecaster import ContentForecaster, ForecastDataset
+from repro.errors import ConfigurationError, NotFittedError
+
+
+def _quality_vectors(seed=0, n_per_group=50):
+    """Quality vectors of 3 configurations under easy / medium / hard content."""
+    rng = np.random.default_rng(seed)
+    easy = rng.normal([0.95, 0.97, 0.99], 0.02, size=(n_per_group, 3))
+    medium = rng.normal([0.55, 0.8, 0.95], 0.03, size=(n_per_group, 3))
+    hard = rng.normal([0.2, 0.5, 0.9], 0.03, size=(n_per_group, 3))
+    return np.clip(np.concatenate([easy, medium, hard]), 0.0, 1.0)
+
+
+# --------------------------------------------------------------------- #
+# Categorizer
+# --------------------------------------------------------------------- #
+def test_categorizer_recovers_difficulty_groups():
+    vectors = _quality_vectors()
+    categorizer = ContentCategorizer(n_categories=3, seed=0).fit(vectors)
+    assert categorizer.actual_categories == 3
+    labels = categorizer.classify_many(vectors)
+    # Categories are ordered easiest first; the easy block must map to 0 and
+    # the hard block to 2.
+    assert np.bincount(labels[:50]).argmax() == 0
+    assert np.bincount(labels[100:]).argmax() == 2
+
+
+def test_category_centers_expose_per_configuration_quality():
+    categorizer = ContentCategorizer(n_categories=3, seed=0).fit(_quality_vectors())
+    # The most expensive configuration (last column) stays good everywhere.
+    for category in range(3):
+        assert categorizer.category_quality(2, category) > 0.85
+    # The cheapest configuration degrades sharply on the hard category.
+    assert categorizer.category_quality(0, 2) < 0.4
+
+
+def test_classify_partial_matches_full_classification_most_of_the_time():
+    """Equation 5: one observable dimension is usually enough (Section 5.6)."""
+    vectors = _quality_vectors(seed=1)
+    categorizer = ContentCategorizer(n_categories=3, seed=1).fit(vectors)
+    full = categorizer.classify_many(vectors)
+    partial = np.array(
+        [categorizer.classify_partial(0, vector[0]) for vector in vectors]
+    )
+    agreement = float(np.mean(full == partial))
+    assert agreement > 0.9
+
+
+def test_gmm_method_matches_kmeans_structure():
+    vectors = _quality_vectors(seed=2)
+    kmeans = ContentCategorizer(n_categories=3, method="kmeans", seed=2).fit(vectors)
+    gmm = ContentCategorizer(n_categories=3, method="gmm", seed=2).fit(vectors)
+    assert kmeans.centers.shape == gmm.centers.shape
+    # Both categorize the easy block into their easiest category.
+    assert np.bincount(gmm.classify_many(vectors[:50])).argmax() == 0
+
+
+def test_category_histogram():
+    categorizer = ContentCategorizer(n_categories=3, seed=0).fit(_quality_vectors())
+    histogram = categorizer.category_histogram([0, 0, 1, 2])
+    assert histogram.sum() == pytest.approx(1.0)
+    assert histogram[0] == pytest.approx(0.5)
+    empty = categorizer.category_histogram([])
+    assert np.allclose(empty, 1.0 / 3.0)
+
+
+def test_categorizer_validation():
+    with pytest.raises(ConfigurationError):
+        ContentCategorizer(n_categories=0)
+    with pytest.raises(ConfigurationError):
+        ContentCategorizer(method="dbscan")
+    categorizer = ContentCategorizer(n_categories=2)
+    with pytest.raises(NotFittedError):
+        _ = categorizer.centers
+    with pytest.raises(ConfigurationError):
+        categorizer.fit(np.empty((0, 2)))
+    categorizer.fit(_quality_vectors())
+    with pytest.raises(ConfigurationError):
+        categorizer.classify([0.5])
+    with pytest.raises(ConfigurationError):
+        categorizer.classify_partial(10, 0.5)
+    assert len(categorizer.describe()) == categorizer.actual_categories
+
+
+# --------------------------------------------------------------------- #
+# Forecast dataset
+# --------------------------------------------------------------------- #
+def _label_series(n_categories=3, periods=2000, seed=0):
+    """A label series with a deterministic daily structure plus noise."""
+    rng = np.random.default_rng(seed)
+    labels = []
+    for index in range(periods):
+        phase = (index % 200) / 200.0
+        base = 0 if phase < 0.5 else (1 if phase < 0.8 else 2)
+        if rng.uniform() < 0.1:
+            base = rng.integers(0, n_categories)
+        labels.append(int(base))
+    return labels
+
+
+def test_forecast_dataset_shapes():
+    labels = _label_series()
+    dataset = ForecastDataset.from_labels(
+        labels,
+        n_categories=3,
+        label_period_seconds=60.0,
+        input_seconds=60.0 * 400,
+        output_seconds=60.0 * 200,
+        n_splits=4,
+        stride_seconds=60.0 * 50,
+    )
+    assert dataset.inputs.shape[1] == 4 * 3
+    assert dataset.targets.shape[1] == 3
+    assert len(dataset) > 10
+    # Targets are histograms.
+    assert np.allclose(dataset.targets.sum(axis=1), 1.0)
+    train, test = dataset.split(0.8)
+    assert len(train) + len(test) == len(dataset)
+    assert len(train) > len(test)
+
+
+def test_forecast_dataset_validation():
+    labels = [0, 1, 2] * 10
+    with pytest.raises(ConfigurationError):
+        ForecastDataset.from_labels(labels, 3, 60.0, 60.0 * 100, 60.0 * 100, 4)
+    with pytest.raises(ConfigurationError):
+        ForecastDataset.from_labels(labels, 3, 0.0, 60.0, 60.0, 1)
+    dataset = ForecastDataset.from_labels(labels, 3, 60.0, 60.0 * 10, 60.0 * 5, 2)
+    with pytest.raises(ConfigurationError):
+        dataset.split(1.5)
+
+
+# --------------------------------------------------------------------- #
+# Forecaster
+# --------------------------------------------------------------------- #
+def test_forecaster_learns_structured_series():
+    labels = _label_series(periods=4000, seed=1)
+    dataset = ForecastDataset.from_labels(
+        labels,
+        n_categories=3,
+        label_period_seconds=60.0,
+        input_seconds=60.0 * 400,
+        output_seconds=60.0 * 200,
+        n_splits=4,
+        stride_seconds=60.0 * 20,
+    )
+    train, test = dataset.split(0.8)
+    forecaster = ContentForecaster(n_categories=3, n_splits=4)
+    forecaster.fit(train)
+    mae = forecaster.evaluate_mae(test)
+    # The series is highly structured; the network must beat a uniform guess.
+    uniform_mae = float(np.mean(np.abs(test.targets - 1.0 / 3.0)))
+    assert mae < uniform_mae
+    assert mae < 0.2
+
+
+def test_forecaster_prediction_is_a_distribution():
+    labels = _label_series(periods=2000, seed=2)
+    dataset = ForecastDataset.from_labels(
+        labels, 3, 60.0, 60.0 * 200, 60.0 * 100, 4, stride_seconds=60.0 * 25
+    )
+    forecaster = ContentForecaster(n_categories=3, n_splits=4)
+    forecaster.fit(dataset)
+    recent = [[0.6, 0.3, 0.1]] * 4
+    prediction = forecaster.predict(recent)
+    assert prediction.shape == (3,)
+    assert prediction.sum() == pytest.approx(1.0)
+    assert np.all(prediction >= 0.0)
+
+
+def test_forecaster_validation():
+    forecaster = ContentForecaster(n_categories=3, n_splits=2)
+    with pytest.raises(NotFittedError):
+        forecaster.predict([[0.5, 0.3, 0.2]] * 2)
+    with pytest.raises(ConfigurationError):
+        ContentForecaster(n_categories=0)
+    labels = [0, 1, 2] * 200
+    dataset = ForecastDataset.from_labels(labels, 3, 60.0, 60.0 * 40, 60.0 * 20, 4)
+    with pytest.raises(ConfigurationError):
+        forecaster.fit(dataset)  # splits mismatch (2 vs 4)
+    good = ContentForecaster(n_categories=3, n_splits=4)
+    good.fit(dataset)
+    with pytest.raises(ConfigurationError):
+        good.predict([[0.5, 0.3, 0.2]] * 3)

@@ -1,0 +1,112 @@
+"""Tests for knobs, knob configurations and the knob space."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.knobs import Knob, KnobConfiguration, KnobSpace
+from repro.errors import ConfigurationError
+
+
+def _space():
+    space = KnobSpace()
+    space.register_knob("frame_rate", (1, 5, 30))
+    space.register_knob("tiles", (1, 2))
+    return space
+
+
+def test_register_and_enumerate():
+    space = _space()
+    assert len(space) == 2
+    assert space.size == 6
+    assert "frame_rate" in space
+    configurations = list(space.all_configurations())
+    assert len(configurations) == 6
+    assert len(set(configurations)) == 6
+
+
+def test_configuration_access_and_label():
+    space = _space()
+    config = space.configuration(frame_rate=5, tiles=2)
+    assert config["frame_rate"] == 5
+    assert config.get("tiles") == 2
+    assert config.get("missing", "default") == "default"
+    assert "frame_rate=5" in config.short_label()
+    assert sorted(config.knob_names) == ["frame_rate", "tiles"]
+    assert config.as_dict() == {"frame_rate": 5, "tiles": 2}
+
+
+def test_configuration_equality_and_hashing():
+    first = KnobConfiguration.from_dict({"a": 1, "b": 2})
+    second = KnobConfiguration.from_dict({"b": 2, "a": 1})
+    assert first == second
+    assert hash(first) == hash(second)
+    assert len({first, second}) == 1
+
+
+def test_with_value_creates_modified_copy():
+    config = KnobConfiguration.from_dict({"a": 1, "b": 2})
+    updated = config.with_value("a", 7)
+    assert updated["a"] == 7
+    assert config["a"] == 1
+    with pytest.raises(ConfigurationError):
+        config.with_value("missing", 1)
+
+
+def test_validation_errors():
+    space = _space()
+    with pytest.raises(ConfigurationError):
+        space.configuration(frame_rate=2, tiles=1)  # not in domain
+    with pytest.raises(ConfigurationError):
+        space.configuration(frame_rate=5)  # missing knob
+    with pytest.raises(ConfigurationError):
+        space.configuration(frame_rate=5, tiles=1, extra=3)  # unknown knob
+    with pytest.raises(ConfigurationError):
+        space.register_knob("frame_rate", (1,))  # duplicate knob
+    with pytest.raises(ConfigurationError):
+        Knob("empty", ())
+    with pytest.raises(ConfigurationError):
+        Knob("dup", (1, 1))
+    with pytest.raises(ConfigurationError):
+        KnobConfiguration.from_dict({"a": 1})["b"]
+
+
+def test_configuration_from_tuple_follows_registration_order():
+    space = _space()
+    config = space.configuration_from_tuple((30, 2))
+    assert config["frame_rate"] == 30
+    assert config["tiles"] == 2
+    with pytest.raises(ConfigurationError):
+        space.configuration_from_tuple((30,))
+
+
+def test_domains_in_order():
+    space = _space()
+    assert space.domains_in_order() == [(1, 5, 30), (1, 2)]
+
+
+def test_knob_index_of():
+    knob = Knob("k", (10, 20, 30))
+    assert knob.index_of(20) == 1
+    with pytest.raises(ConfigurationError):
+        knob.index_of(15)
+
+
+def test_empty_space():
+    space = KnobSpace()
+    assert space.size == 0
+    assert list(space.all_configurations()) == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    domain_sizes=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=4),
+)
+def test_property_enumeration_size_is_product_of_domains(domain_sizes):
+    space = KnobSpace()
+    expected = 1
+    for index, size in enumerate(domain_sizes):
+        space.register_knob(f"knob{index}", tuple(range(size)))
+        expected *= size
+    configurations = list(space.all_configurations())
+    assert len(configurations) == expected == space.size
+    assert len(set(configurations)) == expected

@@ -1,0 +1,71 @@
+"""Tests for the Gaussian mixture model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml.gmm import GaussianMixture
+
+
+def _two_blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    return np.concatenate(
+        [
+            rng.normal([0.0, 0.0], 0.2, size=(60, 2)),
+            rng.normal([4.0, 4.0], 0.2, size=(60, 2)),
+        ]
+    )
+
+
+def test_fit_recovers_two_components():
+    data = _two_blobs()
+    gmm = GaussianMixture(n_components=2, seed=0)
+    result = gmm.fit(data)
+    means = np.sort(result.means[:, 0])
+    assert means[0] == pytest.approx(0.0, abs=0.3)
+    assert means[1] == pytest.approx(4.0, abs=0.3)
+    assert np.isclose(result.weights.sum(), 1.0)
+
+
+def test_predict_separates_blobs():
+    data = _two_blobs(seed=1)
+    gmm = GaussianMixture(n_components=2, seed=1)
+    labels = gmm.fit_predict(data)
+    first_half = labels[:60]
+    second_half = labels[60:]
+    # Each blob should be labelled (almost) uniformly with a single component.
+    assert (first_half == np.bincount(first_half).argmax()).mean() > 0.95
+    assert (second_half == np.bincount(second_half).argmax()).mean() > 0.95
+    assert first_half[0] != second_half[0]
+
+
+def test_variances_respect_floor():
+    data = np.zeros((20, 2))
+    gmm = GaussianMixture(n_components=1, min_variance=1e-4, seed=0)
+    result = gmm.fit(data)
+    assert np.all(result.variances >= 1e-4)
+
+
+def test_predict_partial_matches_nearest_mean():
+    data = _two_blobs(seed=2)
+    gmm = GaussianMixture(n_components=2, seed=2)
+    gmm.fit(data)
+    label = gmm.predict_partial(4.1, dimension=0)
+    assert gmm.means[label, 0] == pytest.approx(4.0, abs=0.4)
+
+
+def test_log_likelihood_improves_over_iterations():
+    data = _two_blobs(seed=3)
+    loose = GaussianMixture(n_components=2, max_iterations=1, seed=3).fit(data)
+    tight = GaussianMixture(n_components=2, max_iterations=100, seed=3).fit(data)
+    assert tight.log_likelihood >= loose.log_likelihood - 1e-6
+
+
+def test_errors_on_bad_input():
+    with pytest.raises(ConfigurationError):
+        GaussianMixture(n_components=0)
+    gmm = GaussianMixture(n_components=2)
+    with pytest.raises(NotFittedError):
+        _ = gmm.means
+    with pytest.raises(ConfigurationError):
+        gmm.fit(np.empty((0, 2)))

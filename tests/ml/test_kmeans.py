@@ -1,0 +1,121 @@
+"""Tests for the KMeans implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml.kmeans import KMeans
+
+
+def _three_blobs(seed=0, points_per_blob=40):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [5.0, 5.0], [0.0, 8.0]])
+    data = np.concatenate(
+        [rng.normal(center, 0.3, size=(points_per_blob, 2)) for center in centers]
+    )
+    return data, centers
+
+
+def test_fit_recovers_well_separated_blobs():
+    data, true_centers = _three_blobs()
+    model = KMeans(n_clusters=3, seed=0)
+    result = model.fit(data)
+    assert result.centers.shape == (3, 2)
+    # Each true center should have a fitted center within 0.5.
+    for center in true_centers:
+        distances = np.linalg.norm(result.centers - center, axis=1)
+        assert distances.min() < 0.5
+
+
+def test_labels_match_nearest_center():
+    data, _ = _three_blobs()
+    model = KMeans(n_clusters=3, seed=1)
+    result = model.fit(data)
+    predicted = model.predict(data)
+    assert np.array_equal(predicted, result.labels)
+
+
+def test_inertia_decreases_with_more_clusters():
+    data, _ = _three_blobs()
+    inertia_2 = KMeans(n_clusters=2, seed=0).fit(data).inertia
+    inertia_4 = KMeans(n_clusters=4, seed=0).fit(data).inertia
+    assert inertia_4 < inertia_2
+
+
+def test_more_samples_than_clusters_not_required():
+    data = np.array([[0.0, 0.0], [1.0, 1.0]])
+    result = KMeans(n_clusters=5, seed=0).fit(data)
+    assert result.centers.shape[0] == 2
+
+
+def test_predict_partial_uses_single_dimension():
+    centers_data = np.array([[0.1, 0.9], [0.1, 0.9], [0.9, 0.1], [0.9, 0.1]])
+    model = KMeans(n_clusters=2, seed=0)
+    model.fit(centers_data)
+    # Classify by dimension 0 only: a value near 0.9 must map to the cluster
+    # whose center has ~0.9 in dimension 0.
+    label = model.predict_partial(0.88, dimension=0)
+    assert np.isclose(model.centers[label, 0], 0.9, atol=0.1)
+
+
+def test_predict_partial_rejects_bad_dimension():
+    model = KMeans(n_clusters=2, seed=0)
+    model.fit(np.random.default_rng(0).normal(size=(10, 3)))
+    with pytest.raises(ConfigurationError):
+        model.predict_partial(0.5, dimension=7)
+
+
+def test_not_fitted_raises():
+    model = KMeans(n_clusters=2)
+    with pytest.raises(NotFittedError):
+        _ = model.centers
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        KMeans(n_clusters=0)
+    with pytest.raises(ConfigurationError):
+        KMeans(n_clusters=2, n_init=0)
+    with pytest.raises(ConfigurationError):
+        KMeans(n_clusters=2).fit(np.empty((0, 3)))
+
+
+def test_one_dimensional_input_is_reshaped():
+    data = np.array([0.0, 0.1, 5.0, 5.1])
+    result = KMeans(n_clusters=2, seed=0).fit(data)
+    assert result.centers.shape == (2, 1)
+
+
+def test_deterministic_given_seed():
+    data, _ = _three_blobs(seed=3)
+    first = KMeans(n_clusters=3, seed=42).fit(data)
+    second = KMeans(n_clusters=3, seed=42).fit(data)
+    assert np.allclose(np.sort(first.centers, axis=0), np.sort(second.centers, axis=0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_points=st.integers(min_value=5, max_value=60),
+    n_features=st.integers(min_value=1, max_value=5),
+    n_clusters=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_labels_in_range_and_inertia_nonnegative(n_points, n_features, n_clusters, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n_points, n_features))
+    result = KMeans(n_clusters=n_clusters, n_init=2, seed=seed).fit(data)
+    assert result.inertia >= 0.0
+    assert result.labels.shape == (n_points,)
+    assert result.labels.min() >= 0
+    assert result.labels.max() < min(n_clusters, n_points)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_property_centers_lie_within_data_bounds(seed):
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-2.0, 3.0, size=(30, 3))
+    result = KMeans(n_clusters=4, n_init=2, seed=seed).fit(data)
+    assert np.all(result.centers >= data.min(axis=0) - 1e-9)
+    assert np.all(result.centers <= data.max(axis=0) + 1e-9)

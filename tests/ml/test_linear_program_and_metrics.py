@@ -1,0 +1,124 @@
+"""Tests for the LP wrapper and the numeric metric helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, PlanningError
+from repro.ml.linear_program import LinearProgram, solve_linear_program
+from repro.ml.metrics import (
+    histogram_distance,
+    mean_absolute_error,
+    mean_squared_error,
+    normalize_histogram,
+)
+
+
+# --------------------------------------------------------------------- #
+# Linear programming
+# --------------------------------------------------------------------- #
+def test_simple_lp_maximization():
+    lp = LinearProgram()
+    lp.add_variable("x", objective=3.0)
+    lp.add_variable("y", objective=2.0)
+    lp.add_constraint_le({"x": 1.0, "y": 1.0}, 4.0)
+    lp.add_constraint_le({"x": 1.0}, 2.0)
+    solution = lp.solve()
+    assert solution["x"] == pytest.approx(2.0, abs=1e-6)
+    assert solution["y"] == pytest.approx(2.0, abs=1e-6)
+    assert solution.objective == pytest.approx(10.0, abs=1e-6)
+
+
+def test_equality_constraints_are_enforced():
+    solution = solve_linear_program(
+        objective={"a": 1.0, "b": 1.0},
+        eq_constraints=[({"a": 1.0, "b": 1.0}, 1.0)],
+        upper=1.0,
+    )
+    assert solution["a"] + solution["b"] == pytest.approx(1.0, abs=1e-6)
+
+
+def test_infeasible_lp_raises_planning_error():
+    lp = LinearProgram()
+    lp.add_variable("x", objective=1.0, lower=0.0)
+    lp.add_constraint_le({"x": 1.0}, -1.0)
+    with pytest.raises(PlanningError):
+        lp.solve()
+
+
+def test_unknown_variable_in_constraint_rejected():
+    lp = LinearProgram()
+    lp.add_variable("x", objective=1.0)
+    with pytest.raises(PlanningError):
+        lp.add_constraint_le({"y": 1.0}, 1.0)
+
+
+def test_duplicate_variable_rejected():
+    lp = LinearProgram()
+    lp.add_variable("x")
+    with pytest.raises(PlanningError):
+        lp.add_variable("x")
+
+
+def test_empty_lp_rejected():
+    with pytest.raises(PlanningError):
+        LinearProgram().solve()
+
+
+def test_counts_of_variables_and_constraints():
+    lp = LinearProgram()
+    lp.add_variable("x")
+    lp.add_variable("y")
+    lp.add_constraint_le({"x": 1.0}, 1.0)
+    lp.add_constraint_eq({"y": 1.0}, 0.5)
+    assert lp.n_variables == 2
+    assert lp.n_constraints == 2
+
+
+# --------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------- #
+def test_mae_and_mse_basic():
+    predictions = np.array([1.0, 2.0, 3.0])
+    targets = np.array([1.0, 1.0, 5.0])
+    assert mean_absolute_error(predictions, targets) == pytest.approx(1.0)
+    assert mean_squared_error(predictions, targets) == pytest.approx(5.0 / 3.0)
+
+
+def test_mae_shape_mismatch():
+    with pytest.raises(ConfigurationError):
+        mean_absolute_error(np.zeros(3), np.zeros(4))
+    with pytest.raises(ConfigurationError):
+        mean_absolute_error(np.zeros(0), np.zeros(0))
+
+
+def test_normalize_histogram_sums_to_one():
+    histogram = normalize_histogram([2.0, 2.0, 4.0])
+    assert histogram.sum() == pytest.approx(1.0)
+    assert histogram[2] == pytest.approx(0.5)
+
+
+def test_normalize_histogram_zero_vector_is_uniform():
+    histogram = normalize_histogram([0.0, 0.0, 0.0, 0.0])
+    assert np.allclose(histogram, 0.25)
+
+
+def test_normalize_histogram_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        normalize_histogram([-1.0, 2.0])
+
+
+def test_histogram_distance_bounds():
+    assert histogram_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+    assert histogram_distance([0.5, 0.5], [0.5, 0.5]) == pytest.approx(0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    counts=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=8),
+)
+def test_property_normalized_histogram_is_distribution(counts):
+    histogram = normalize_histogram(counts)
+    assert histogram.shape == (len(counts),)
+    assert histogram.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(histogram >= 0.0)

@@ -1,0 +1,105 @@
+"""Tests for the byte-bounded video buffer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BufferOverflowError, ConfigurationError
+from repro.video.buffer import VideoBuffer
+
+
+def test_push_pop_fifo_order():
+    buffer = VideoBuffer(capacity_bytes=100)
+    buffer.push("a", 30)
+    buffer.push("b", 40)
+    assert len(buffer) == 2
+    assert buffer.used_bytes == 70
+    assert buffer.free_bytes == 30
+    item, size = buffer.pop()
+    assert item == "a" and size == 30
+    assert buffer.used_bytes == 40
+
+
+def test_overflow_raises_with_details():
+    buffer = VideoBuffer(capacity_bytes=50)
+    buffer.push("a", 40)
+    with pytest.raises(BufferOverflowError) as info:
+        buffer.push("b", 20)
+    assert info.value.requested_bytes == 20
+    assert info.value.free_bytes == 10
+    assert info.value.capacity_bytes == 50
+
+
+def test_fits_and_fill_fraction():
+    buffer = VideoBuffer(capacity_bytes=200)
+    assert buffer.fits(200)
+    buffer.push("a", 150)
+    assert not buffer.fits(100)
+    assert buffer.fill_fraction == pytest.approx(0.75)
+
+
+def test_peak_tracking_and_snapshots():
+    buffer = VideoBuffer(capacity_bytes=100)
+    buffer.push("a", 60)
+    buffer.pop()
+    buffer.push("b", 30)
+    assert buffer.peak_bytes == 60
+    snapshot = buffer.record_snapshot(timestamp=12.0)
+    assert snapshot.used_bytes == 30
+    assert snapshot.fill_fraction == pytest.approx(0.3)
+    assert buffer.history[-1] == snapshot
+
+
+def test_drain_respects_item_boundaries():
+    buffer = VideoBuffer(capacity_bytes=100)
+    for index in range(4):
+        buffer.push(index, 20)
+    removed = buffer.drain(max_bytes=50)
+    assert [item for item, _ in removed] == [0, 1]
+    assert buffer.used_bytes == 40
+
+
+def test_peek_and_clear():
+    buffer = VideoBuffer(capacity_bytes=10)
+    assert buffer.peek() is None
+    buffer.push("x", 5)
+    assert buffer.peek() == ("x", 5)
+    buffer.clear()
+    assert len(buffer) == 0
+    assert buffer.used_bytes == 0
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigurationError):
+        VideoBuffer(capacity_bytes=-1)
+    buffer = VideoBuffer(capacity_bytes=10)
+    with pytest.raises(ConfigurationError):
+        buffer.push("a", -1)
+    with pytest.raises(ConfigurationError):
+        buffer.pop()
+    with pytest.raises(ConfigurationError):
+        buffer.drain(-1)
+
+
+def test_zero_capacity_buffer_rejects_everything():
+    buffer = VideoBuffer(capacity_bytes=0)
+    assert buffer.fill_fraction == 0.0
+    with pytest.raises(BufferOverflowError):
+        buffer.push("a", 1)
+    buffer.push("empty", 0)  # zero-sized items still fit
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=30),
+    capacity=st.integers(min_value=0, max_value=500),
+)
+def test_property_occupancy_never_exceeds_capacity(sizes, capacity):
+    """Equation 1: buffered bytes never exceed the buffer size."""
+    buffer = VideoBuffer(capacity_bytes=capacity)
+    for index, size in enumerate(sizes):
+        try:
+            buffer.push(index, size)
+        except BufferOverflowError:
+            pass
+        assert 0 <= buffer.used_bytes <= capacity
+        assert buffer.peak_bytes <= capacity

@@ -1,0 +1,123 @@
+"""Tests for the content dynamics model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.video.content import ContentModel, DiurnalProfile, SpikeSchedule
+
+
+def test_diurnal_profile_has_rush_hour_peaks():
+    profile = DiurnalProfile()
+    night = profile.activity(3 * 3600.0)
+    morning_peak = profile.activity(8 * 3600.0)
+    midday = profile.activity(13 * 3600.0)
+    evening_peak = profile.activity(17.5 * 3600.0)
+    assert night < midday < morning_peak
+    assert night < midday < evening_peak
+
+
+def test_lighting_is_dark_at_night_and_bright_at_noon():
+    profile = DiurnalProfile()
+    assert profile.lighting(2 * 3600.0) < 0.4
+    assert profile.lighting(13 * 3600.0) > 0.9
+
+
+def test_state_at_is_deterministic_for_same_seed():
+    first = ContentModel(seed=5)
+    second = ContentModel(seed=5)
+    for timestamp in (0.0, 3600.0, 86_400.0 + 123.0, 5 * 86_400.0):
+        assert first.state_at(timestamp) == second.state_at(timestamp)
+
+
+def test_different_seeds_produce_different_bursts():
+    timestamps = np.arange(8 * 3600.0, 12 * 3600.0, 300.0)
+    first = [ContentModel(seed=1).state_at(t).activity for t in timestamps]
+    second = [ContentModel(seed=2).state_at(t).activity for t in timestamps]
+    assert not np.allclose(first, second)
+
+
+def test_state_fields_are_within_bounds():
+    model = ContentModel(seed=0)
+    for timestamp in np.linspace(0.0, 2 * 86_400.0, 500):
+        state = model.state_at(float(timestamp))
+        for value in (
+            state.object_density,
+            state.occlusion,
+            state.lighting,
+            state.motion,
+            state.activity,
+            state.stream_load,
+        ):
+            assert 0.0 <= value <= 1.0
+
+
+def test_rush_hour_is_harder_than_night():
+    model = ContentModel(seed=3)
+    night_states = [model.state_at(2 * 3600.0 + offset) for offset in range(0, 1800, 60)]
+    rush_states = [model.state_at(8 * 3600.0 + offset) for offset in range(0, 1800, 60)]
+    assert np.mean([s.occlusion for s in rush_states]) > np.mean([s.occlusion for s in night_states])
+    assert np.mean([s.object_density for s in rush_states]) > np.mean(
+        [s.object_density for s in night_states]
+    )
+
+
+def test_spike_schedule_injects_load():
+    spikes = SpikeSchedule(period_seconds=3600.0, duration_seconds=600.0, magnitude=0.8)
+    assert spikes.intensity(100.0) > 0.0
+    assert spikes.intensity(2000.0) == 0.0
+    assert spikes.intensity(3700.0) > 0.0
+
+
+def test_spiky_model_has_higher_peak_load():
+    base = ContentModel(seed=9)
+    spiky = ContentModel(
+        seed=9,
+        spikes=SpikeSchedule(period_seconds=4 * 3600.0, duration_seconds=1200.0, magnitude=0.9),
+    )
+    timestamps = np.arange(0.0, 86_400.0, 600.0)
+    base_max = max(base.state_at(float(t)).stream_load for t in timestamps)
+    spiky_max = max(spiky.state_at(float(t)).stream_load for t in timestamps)
+    assert spiky_max >= base_max
+
+
+def test_states_sampling_and_validation():
+    model = ContentModel(seed=0)
+    states = model.states(0.0, 600.0, 60.0)
+    assert len(states) == 10
+    with pytest.raises(ConfigurationError):
+        model.states(0.0, 100.0, 0.0)
+    with pytest.raises(ConfigurationError):
+        model.states(100.0, 0.0, 10.0)
+    with pytest.raises(ConfigurationError):
+        model.state_at(-1.0)
+    with pytest.raises(ConfigurationError):
+        ContentModel(burst_rate_per_hour=-1.0)
+
+
+def test_content_category_changes_on_tens_of_seconds_scale():
+    """Bursts should change the content difficulty every few tens of seconds."""
+    model = ContentModel(seed=4)
+    start = 12 * 3600.0
+    activities = [model.state_at(start + offset).activity for offset in range(0, 3600, 2)]
+    jumps = np.abs(np.diff(activities)) > 0.02
+    # There should be a healthy number of notable changes within one hour.
+    assert jumps.sum() > 20
+
+
+def test_as_vector_shape():
+    state = ContentModel(seed=0).state_at(1000.0)
+    assert state.as_vector().shape == (5,)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    timestamp=st.floats(min_value=0.0, max_value=10 * 86_400.0),
+)
+def test_property_state_always_valid(seed, timestamp):
+    state = ContentModel(seed=seed).state_at(timestamp)
+    assert 0.0 <= state.activity <= 1.0
+    assert 0.0 <= state.occlusion <= 1.0
+    assert state.timestamp == pytest.approx(timestamp)

@@ -1,0 +1,209 @@
+"""Tests for the simulated CV operators (detector, trackers, classifiers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.content import ContentModel
+from repro.video.stream import SyntheticVideoSource
+from repro.vision.classifier import SimulatedClassifier
+from repro.vision.detector import SimulatedObjectDetector
+from repro.vision.embedding import SimulatedEmbedder
+from repro.vision.homography import HomographyDistance
+from repro.vision.model_zoo import MODEL_ZOO, get_model_variant
+from repro.vision.tracker import SimulatedTracker, SimulatedTransMOT
+from repro.vision.udf import OperatorCost
+
+
+@pytest.fixture(scope="module")
+def night_content():
+    return ContentModel(seed=1).state_at(3 * 3600.0)
+
+
+@pytest.fixture(scope="module")
+def rush_content():
+    return ContentModel(seed=1).state_at(8 * 3600.0)
+
+
+# --------------------------------------------------------------------- #
+# Model zoo
+# --------------------------------------------------------------------- #
+def test_model_zoo_covers_all_families():
+    assert set(MODEL_ZOO) == {"yolo", "transmot", "sentiment", "mask_classifier"}
+    for family, variants in MODEL_ZOO.items():
+        assert {"small", "medium", "large"} <= set(variants)
+
+
+def test_larger_models_are_slower_and_more_robust():
+    for family in MODEL_ZOO:
+        small = get_model_variant(family, "small")
+        large = get_model_variant(family, "large")
+        assert large.seconds_per_inference > small.seconds_per_inference
+        assert large.accuracy(1.0) > small.accuracy(1.0)
+
+
+def test_accuracy_degrades_with_difficulty():
+    variant = get_model_variant("yolo", "medium")
+    assert variant.accuracy(0.0) > variant.accuracy(0.5) > variant.accuracy(1.0)
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ConfigurationError):
+        get_model_variant("yolo", "gigantic")
+    with pytest.raises(ConfigurationError):
+        get_model_variant("resnet", "small")
+
+
+def test_yolo_medium_matches_paper_inference_time():
+    """The paper measures ~86 ms per YOLOv5 HD inference (Appendix K.2)."""
+    assert get_model_variant("yolo", "medium").seconds_per_inference == pytest.approx(0.086)
+
+
+# --------------------------------------------------------------------- #
+# Detector
+# --------------------------------------------------------------------- #
+def test_detector_cost_scales_with_tiles_and_model(night_content):
+    detector = SimulatedObjectDetector()
+    base = detector.invocation_cost(model_size="medium", tiles=1)
+    tiled = detector.invocation_cost(model_size="medium", tiles=4)
+    large = detector.invocation_cost(model_size="large", tiles=1)
+    assert tiled.on_prem_seconds == pytest.approx(base.on_prem_seconds * 4)
+    assert large.on_prem_seconds > base.on_prem_seconds
+    assert tiled.upload_bytes > base.upload_bytes
+    assert base.cloud_seconds > 0.1  # round trip dominates
+
+
+def test_detector_recall_responds_to_content_and_knobs(night_content, rush_content):
+    detector = SimulatedObjectDetector()
+    midday = ContentModel(seed=1).state_at(13 * 3600.0)
+    hard_cheap = detector.detection_recall(rush_content, model_size="small", tiles=1,
+                                           sampling_fraction=0.1)
+    hard_expensive = detector.detection_recall(rush_content, model_size="large", tiles=4)
+    # Expensive knobs are much more robust on difficult content, and the same
+    # expensive setting does at least as well on an easy mid-day scene.
+    assert hard_expensive > hard_cheap + 0.3
+    easy_expensive = detector.detection_recall(midday, model_size="large", tiles=4)
+    assert easy_expensive >= hard_expensive - 0.05
+    assert 0.0 <= hard_cheap <= 1.0
+
+
+def test_detector_segment_results_consistent(rush_content):
+    detector = SimulatedObjectDetector(seed=0)
+    result = detector.detect_segment(rush_content, ground_truth_objects=30)
+    assert 0 <= result.true_positives <= 30
+    assert result.detections >= result.true_positives
+    assert 0.0 <= result.mean_confidence <= 1.0
+
+
+def test_detector_frame_level_api(night_content):
+    source = SyntheticVideoSource(ContentModel(seed=5))
+    segment = source.segment_at(15_000)
+    frame = next(segment.frames(seed=0))
+    detector = SimulatedObjectDetector(seed=0)
+    detections = detector.detect_frame(frame, model_size="large", tiles=4)
+    assert len(detections) <= len(frame.objects)
+
+
+def test_detector_validation(rush_content):
+    detector = SimulatedObjectDetector()
+    with pytest.raises(ConfigurationError):
+        detector.invocation_cost(tiles=0)
+    with pytest.raises(ConfigurationError):
+        detector.detection_recall(rush_content, sampling_fraction=0.0)
+
+
+# --------------------------------------------------------------------- #
+# Trackers
+# --------------------------------------------------------------------- #
+def test_kcf_tracker_cost_scales_with_objects_and_frames():
+    tracker = SimulatedTracker()
+    small = tracker.invocation_cost(objects=5, frames=10)
+    big = tracker.invocation_cost(objects=20, frames=60)
+    assert big.on_prem_seconds > small.on_prem_seconds
+    assert big.on_prem_seconds == pytest.approx(20 * 60 * tracker.seconds_per_object_frame)
+
+
+def test_kcf_tracking_worse_at_rush_hour(night_content, rush_content):
+    tracker = SimulatedTracker(seed=1)
+    easy = tracker.track_segment(night_content, 10, detection_interval_frames=1,
+                                 processed_frame_rate=30.0)
+    hard = tracker.track_segment(rush_content, 10, detection_interval_frames=30,
+                                 processed_frame_rate=1.0)
+    assert easy.success_rate > hard.success_rate
+    assert hard.reported_failures >= 0
+
+
+def test_transmot_history_and_size_improve_quality(rush_content):
+    tracker = SimulatedTransMOT(seed=2)
+    weak = tracker.track_segment(rush_content, 20, model_size="small", history=1)
+    strong = tracker.track_segment(rush_content, 20, model_size="large", history=5, tiles=4)
+    assert strong.success_rate > weak.success_rate
+    assert strong.tracked_objects >= weak.tracked_objects
+
+
+def test_transmot_cost_scaling():
+    tracker = SimulatedTransMOT()
+    cheap = tracker.invocation_cost(model_size="small", history=1, tiles=1)
+    heavy = tracker.invocation_cost(model_size="large", history=5, tiles=4)
+    assert heavy.on_prem_seconds > 5 * cheap.on_prem_seconds
+    with pytest.raises(ConfigurationError):
+        tracker.invocation_cost(history=0)
+
+
+# --------------------------------------------------------------------- #
+# Classifier, homography, embedder
+# --------------------------------------------------------------------- #
+def test_classifier_accuracy_depends_on_evidence_and_size(rush_content):
+    classifier = SimulatedClassifier(family="sentiment", seed=0)
+    weak = classifier.classify(rush_content, items=10, model_size="small", evidence_fraction=0.2)
+    strong = classifier.classify(rush_content, items=10, model_size="large", evidence_fraction=1.0)
+    assert strong.accuracy > weak.accuracy
+    assert 0.0 <= weak.reported_certainty <= 1.0
+    assert weak.items == 10
+
+
+def test_classifier_validation(rush_content):
+    classifier = SimulatedClassifier(family="mask_classifier")
+    with pytest.raises(ConfigurationError):
+        classifier.classify(rush_content, items=-1)
+    with pytest.raises(ConfigurationError):
+        classifier.classify(rush_content, items=1, evidence_fraction=0.0)
+
+
+def test_homography_projects_and_counts_violations():
+    homography = HomographyDistance(threshold_meters=2.0)
+    close_pair = [(600.0, 500.0), (610.0, 502.0)]
+    far_pair = [(100.0, 300.0), (1200.0, 700.0)]
+    assert homography.violation_count(close_pair) == 1
+    assert homography.violation_count(far_pair) == 0
+    assert homography.project(close_pair).shape == (2, 2)
+    assert homography.project([]).shape == (0, 2)
+
+
+def test_homography_validation():
+    with pytest.raises(ConfigurationError):
+        HomographyDistance(homography=np.eye(2))
+    with pytest.raises(ConfigurationError):
+        HomographyDistance(threshold_meters=0.0)
+
+
+def test_embedder_is_deterministic_and_normalized():
+    embedder = SimulatedEmbedder(dimension=64)
+    first = embedder.embed(42)
+    second = embedder.embed(42)
+    other = embedder.embed(43)
+    assert np.allclose(first, second)
+    assert np.linalg.norm(first) == pytest.approx(1.0)
+    assert abs(embedder.similarity(42, 43)) < 1.0
+    assert not np.allclose(first, other)
+
+
+def test_operator_cost_scaled_and_validation():
+    cost = OperatorCost(1.0, 2.0, 0.001, 100, 10)
+    half = cost.scaled(0.5)
+    assert half.on_prem_seconds == pytest.approx(0.5)
+    assert half.upload_bytes == 50
+    with pytest.raises(ConfigurationError):
+        OperatorCost(-1.0, 0.0, 0.0, 0, 0)
+    with pytest.raises(ConfigurationError):
+        cost.scaled(-1.0)

@@ -1,0 +1,202 @@
+"""Tests for the warehouse (Load step): tables, queries, loader."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryError
+from repro.warehouse.database import VideoWarehouse
+from repro.warehouse.loader import DetectionRecord, EntityLoader, SentimentRecord, TrackRecord
+from repro.warehouse.query import AggregateSpec, Query
+from repro.warehouse.table import Column, Table
+
+
+def _detections_table():
+    table = Table(
+        "detections",
+        [
+            Column("camera_id", str),
+            Column("category", str),
+            Column("count", int),
+            Column("confidence", float),
+        ],
+    )
+    rows = [
+        ("cam-1", "ev", 3, 0.9),
+        ("cam-1", "car", 10, 0.8),
+        ("cam-2", "ev", 1, 0.7),
+        ("cam-2", "car", 5, 0.95),
+        ("cam-2", "ev", 2, 0.85),
+    ]
+    for camera, category, count, confidence in rows:
+        table.insert(
+            {"camera_id": camera, "category": category, "count": count, "confidence": confidence}
+        )
+    return table
+
+
+# --------------------------------------------------------------------- #
+# Table
+# --------------------------------------------------------------------- #
+def test_table_insert_and_rows():
+    table = _detections_table()
+    assert len(table) == 5
+    assert table.column_names == ["camera_id", "category", "count", "confidence"]
+    assert table.row(0)["camera_id"] == "cam-1"
+    assert table.column("count") == [3, 10, 1, 5, 2]
+
+
+def test_table_schema_validation():
+    table = Table("t", [Column("a", int), Column("b", str, nullable=True)])
+    table.insert({"a": 1})  # nullable column may be omitted
+    assert table.row(0)["b"] is None
+    with pytest.raises(QueryError):
+        table.insert({"a": "not an int", "b": "x"})
+    with pytest.raises(QueryError):
+        table.insert({"a": 1, "unknown": 2})
+    with pytest.raises(QueryError):
+        table.insert({"b": "missing a"})
+    with pytest.raises(QueryError):
+        Table("t", [])
+    with pytest.raises(QueryError):
+        Table("t", [Column("a", int), Column("a", str)])
+
+
+def test_table_int_to_float_coercion():
+    table = Table("t", [Column("value", float)])
+    table.insert({"value": 3})
+    assert table.row(0)["value"] == pytest.approx(3.0)
+
+
+def test_table_filter_and_project():
+    table = _detections_table()
+    evs = table.filter(lambda row: row["category"] == "ev")
+    assert len(evs) == 3
+    projected = table.project(["camera_id", "count"])
+    assert projected.column_names == ["camera_id", "count"]
+    with pytest.raises(QueryError):
+        table.project(["missing"])
+
+
+# --------------------------------------------------------------------- #
+# Query layer
+# --------------------------------------------------------------------- #
+def test_ev_count_query_from_the_introduction():
+    """The EV example: count EV detections grouped by camera id (Section 1)."""
+    table = _detections_table()
+    rows = (
+        Query(table)
+        .where_equals("category", "ev")
+        .group_by("camera_id")
+        .aggregate(AggregateSpec("sum", "count", "ev_count"))
+        .order_by("camera_id")
+        .run()
+    )
+    assert rows == [
+        {"camera_id": "cam-1", "ev_count": 3},
+        {"camera_id": "cam-2", "ev_count": 3},
+    ]
+
+
+def test_query_aggregates_and_count():
+    table = _detections_table()
+    rows = (
+        Query(table)
+        .group_by("category")
+        .aggregate(
+            AggregateSpec("count", "*", "rows"),
+            AggregateSpec("avg", "confidence", "avg_conf"),
+            AggregateSpec("max", "count", "max_count"),
+        )
+        .order_by("category")
+        .run()
+    )
+    assert rows[0]["category"] == "car"
+    assert rows[0]["rows"] == 2
+    assert rows[0]["max_count"] == 10
+    assert rows[1]["avg_conf"] == pytest.approx((0.9 + 0.7 + 0.85) / 3)
+    assert Query(table).where_between("count", 2, 5).count() == 3
+
+
+def test_query_global_aggregate_without_group_by():
+    table = _detections_table()
+    rows = Query(table).aggregate(AggregateSpec("sum", "count", "total")).run()
+    assert rows == [{"total": 21}]
+
+
+def test_query_limit_and_order():
+    table = _detections_table()
+    rows = Query(table).order_by("count", descending=True).limit(2).run()
+    assert [row["count"] for row in rows] == [10, 5]
+
+
+def test_query_errors():
+    table = _detections_table()
+    with pytest.raises(QueryError):
+        Query(table).where_equals("nope", 1)
+    with pytest.raises(QueryError):
+        Query(table).group_by("nope")
+    with pytest.raises(QueryError):
+        Query(table).group_by("category").run()  # group_by without aggregate
+    with pytest.raises(QueryError):
+        AggregateSpec("median", "count", "x")
+    with pytest.raises(QueryError):
+        AggregateSpec("sum", "*", "x")
+    with pytest.raises(QueryError):
+        Query(table).limit(-1)
+
+
+# --------------------------------------------------------------------- #
+# Warehouse and loader
+# --------------------------------------------------------------------- #
+def test_warehouse_table_management():
+    warehouse = VideoWarehouse()
+    warehouse.create_detections_table()
+    warehouse.create_tracks_table()
+    assert "detections" in warehouse
+    assert warehouse.table_names == ["detections", "tracks"]
+    with pytest.raises(QueryError):
+        warehouse.create_detections_table()
+    warehouse.drop_table("tracks")
+    assert "tracks" not in warehouse
+    with pytest.raises(QueryError):
+        warehouse.table("tracks")
+
+
+def test_loader_end_to_end_ev_counts():
+    loader = EntityLoader()
+    loader.load_detections(
+        [
+            DetectionRecord("cam-1", 0, 0.0, "ev", 2, 0.9),
+            DetectionRecord("cam-1", 1, 2.0, "car", 7, 0.8),
+            DetectionRecord("cam-2", 0, 0.0, "ev", 5, 0.95),
+        ]
+    )
+    loader.load_tracks([TrackRecord("cam-1", 0, 0.0, 9, 1, 0.88)])
+    loader.load_sentiments([SentimentRecord("stream-1", 0, 0.0, "positive", 0.7)])
+    assert loader.loaded_rows == 5
+    assert loader.ev_counts_by_camera() == {"cam-1": 2, "cam-2": 5}
+
+
+def test_loader_requires_detections_for_ev_query():
+    loader = EntityLoader()
+    with pytest.raises(QueryError):
+        loader.ev_counts_by_camera()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    counts=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=40),
+)
+def test_property_sum_aggregate_matches_python_sum(counts):
+    table = Table("t", [Column("camera_id", str), Column("count", int)])
+    for index, count in enumerate(counts):
+        table.insert({"camera_id": f"cam-{index % 3}", "count": count})
+    rows = Query(table).aggregate(AggregateSpec("sum", "count", "total")).run()
+    assert rows[0]["total"] == sum(counts)
+    grouped = (
+        Query(table)
+        .group_by("camera_id")
+        .aggregate(AggregateSpec("sum", "count", "total"))
+        .run()
+    )
+    assert sum(row["total"] for row in grouped) == sum(counts)
