@@ -8,8 +8,8 @@ the Appendix-L ratio plus cloud-function spend).
 
 import pytest
 
-from benchmarks.common import QUICK_TIERS, bundle_for, print_header
-from repro.experiments.harness import cost_quality_sweep, cost_reduction_factor
+from benchmarks.common import QUICK_TIERS, print_header, runner_for
+from repro.experiments.runner import cost_reduction_factor
 from repro.experiments.results import ExperimentTable
 
 WORKLOADS = ["covid", "mot", "mosei-high", "mosei-long"]
@@ -18,14 +18,13 @@ WORKLOADS = ["covid", "mot", "mosei-high", "mosei-long"]
 @pytest.mark.benchmark(group="fig04")
 @pytest.mark.parametrize("workload_name", WORKLOADS)
 def test_fig04_cost_quality(benchmark, workload_name):
-    bundle = bundle_for(workload_name)
+    runner = runner_for(workload_name)
 
     points = benchmark.pedantic(
-        cost_quality_sweep,
-        args=(bundle,),
+        runner.sweep,
         kwargs={
+            "systems": ("static", "chameleon*", "skyscraper"),
             "tiers": QUICK_TIERS,
-            "systems": ("static", "chameleon", "skyscraper"),
             "skyscraper_tiers": QUICK_TIERS[:2],
         },
         iterations=1,

@@ -3,16 +3,16 @@ practical Skyscraper design, Static, and the Optimum."""
 
 import pytest
 
-from benchmarks.common import bundle_for, print_header
+from benchmarks.common import bundle_for, print_header, runner_for
 from repro.baselines.idealized import idealized_assignment
 from repro.baselines.optimum import optimum_assignment
-from repro.experiments.harness import run_skyscraper, run_static
 from repro.experiments.results import ExperimentTable
 
 
 @pytest.mark.benchmark(group="fig16")
 def test_fig16_idealized_vs_practical(benchmark):
     bundle = bundle_for("covid")
+    runner = runner_for("covid")
     source = bundle.setup.source
     workload = bundle.setup.workload
     profiles = bundle.skyscraper.profiles
@@ -27,8 +27,8 @@ def test_fig16_idealized_vs_practical(benchmark):
     def run_all():
         idealized = idealized_assignment(workload, profiles, history, future, budget)
         optimum = optimum_assignment(workload, profiles, future, budget)
-        practical = run_skyscraper(bundle, cores=cores)
-        static = run_static(bundle, cores=cores)
+        practical = runner.run("skyscraper", cores=cores)
+        static = runner.run("static", cores=cores)
         return idealized, optimum, practical, static
 
     idealized, optimum, practical, static = benchmark.pedantic(run_all, iterations=1, rounds=1)

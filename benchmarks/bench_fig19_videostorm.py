@@ -6,8 +6,7 @@ job it fills the buffer early and then behaves like the static baseline.
 
 import pytest
 
-from benchmarks.common import bundle_for, print_header
-from repro.experiments.harness import run_skyscraper, run_static, run_videostorm
+from benchmarks.common import print_header, runner_for
 from repro.experiments.results import ExperimentTable
 
 WORKLOADS = ["covid", "mot", "mosei-high", "mosei-long"]
@@ -16,14 +15,14 @@ WORKLOADS = ["covid", "mot", "mosei-high", "mosei-long"]
 @pytest.mark.benchmark(group="fig19")
 @pytest.mark.parametrize("workload_name", WORKLOADS)
 def test_fig19_videostorm(benchmark, workload_name):
-    bundle = bundle_for(workload_name)
+    runner = runner_for(workload_name)
     cores = 4
 
     def run_all():
         return (
-            run_static(bundle, cores=cores),
-            run_videostorm(bundle, cores=cores),
-            run_skyscraper(bundle, cores=cores),
+            runner.run("static", cores=cores),
+            runner.run("videostorm", cores=cores),
+            runner.run("skyscraper", cores=cores),
         )
 
     static, videostorm, skyscraper = benchmark.pedantic(run_all, iterations=1, rounds=1)

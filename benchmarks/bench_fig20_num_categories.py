@@ -1,10 +1,9 @@
 """Figure 20 / Table 4 (Appendix I.1): sensitivity to the number of content categories."""
 
-import numpy as np
 import pytest
 
-from benchmarks.common import bundle_for, print_header, quick_config
-from repro.experiments.harness import prepare_bundle, run_skyscraper
+from benchmarks.common import print_header, quick_config
+from repro.experiments.runner import ExperimentRunner, prepare_bundle
 from repro.experiments.microbench import switcher_error_analysis
 from repro.experiments.results import ExperimentTable
 from repro.workloads.covid import make_covid_setup
@@ -22,7 +21,7 @@ def test_fig20_number_of_content_categories(benchmark):
             setup = make_covid_setup(history_days=config.history_days,
                                      online_days=config.online_days)
             bundle = prepare_bundle(setup, config)
-            result = run_skyscraper(bundle, cores=4)
+            result = ExperimentRunner(bundle).run("skyscraper", cores=4)
             errors = switcher_error_analysis(bundle, n_samples=120)
             rows.append(
                 {

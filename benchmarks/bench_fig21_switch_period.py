@@ -3,7 +3,7 @@
 import pytest
 
 from benchmarks.common import bundle_for, print_header
-from repro.experiments.harness import run_skyscraper
+from repro.experiments.runner import ExperimentRunner
 from repro.experiments.results import ExperimentTable
 
 SWITCH_PERIODS = (2.0, 4.0, 8.0, 16.0)
@@ -12,6 +12,7 @@ SWITCH_PERIODS = (2.0, 4.0, 8.0, 16.0)
 @pytest.mark.benchmark(group="fig21")
 def test_fig21_switch_period(benchmark):
     bundle = bundle_for("covid")
+    runner = ExperimentRunner(bundle)
 
     def sweep():
         rows = []
@@ -20,7 +21,7 @@ def test_fig21_switch_period(benchmark):
             for period in SWITCH_PERIODS:
                 bundle.config.switch_period_seconds = period
                 bundle.skyscraper.switch_period_seconds = period
-                result = run_skyscraper(bundle, cores=4)
+                result = runner.run("skyscraper", cores=4)
                 rows.append(
                     {
                         "switch_period_s": period,

@@ -9,13 +9,14 @@ hardware?
 import pytest
 
 from benchmarks.common import bundle_for, print_header
-from repro.experiments.harness import run_chameleon, run_skyscraper, run_static, run_videostorm
+from repro.experiments.runner import ExperimentRunner
 from repro.experiments.results import ExperimentTable
 
 
 @pytest.mark.benchmark(group="table1")
 def test_table1_taxonomy(benchmark):
     bundle = bundle_for("covid")
+    runner = ExperimentRunner(bundle)
     original_buffer = bundle.config.buffer_bytes
     # A small buffer on a small machine exposes which systems guarantee throughput.
     bundle.config.buffer_bytes = 60_000_000
@@ -23,10 +24,8 @@ def test_table1_taxonomy(benchmark):
     def run_all():
         try:
             return {
-                "skyscraper": run_skyscraper(bundle, cores=4),
-                "chameleon*": run_chameleon(bundle, cores=4),
-                "videostorm": run_videostorm(bundle, cores=4),
-                "static": run_static(bundle, cores=4),
+                name: runner.run(name, cores=4)
+                for name in ("skyscraper", "chameleon*", "videostorm", "static")
             }
         finally:
             bundle.config.buffer_bytes = original_buffer

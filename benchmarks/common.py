@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.experiments.harness import ExperimentConfig, SystemBundle, prepare_bundle
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentRunner,
+    SystemBundle,
+    prepare_bundle,
+)
 from repro.workloads.covid import make_covid_setup
 from repro.workloads.ev import make_ev_setup
 from repro.workloads.mosei import make_mosei_setup
@@ -54,6 +59,11 @@ def bundle_for(workload_name: str, online_days: float = 0.05) -> SystemBundle:
     else:
         raise ValueError(f"unknown workload {workload_name!r}")
     return prepare_bundle(setup, config)
+
+
+def runner_for(workload_name: str, online_days: float = 0.05) -> ExperimentRunner:
+    """An :class:`ExperimentRunner` over the cached bundle for a workload."""
+    return ExperimentRunner(bundle_for(workload_name, online_days=online_days))
 
 
 def print_header(title: str, paper_reference: str) -> None:

@@ -11,14 +11,11 @@ Run with::
 
 from __future__ import annotations
 
-from repro.experiments.harness import (
+from repro.experiments.runner import (
     ExperimentConfig,
+    ExperimentRunner,
     prepare_bundle,
     provisioned_cost_dollars,
-    run_chameleon,
-    run_skyscraper,
-    run_static,
-    run_videostorm,
 )
 from repro.experiments.hardware import machine_for
 from repro.experiments.results import ExperimentTable
@@ -36,16 +33,17 @@ def main() -> None:
         train_forecaster=False,
     )
     bundle = prepare_bundle(setup, config)
+    runner = ExperimentRunner(bundle)
 
     machine = machine_for("e2-standard-4")
     hours = config.online_hours
     print(f"Ingesting {hours:.1f} hours of live video on a {machine.name} ...\n")
 
+    # Every system is looked up in the policy registry by name and run
+    # through the same ingestion engine.
     runs = {
-        "static": run_static(bundle, cores=machine.vcpus),
-        "chameleon*": run_chameleon(bundle, cores=machine.vcpus),
-        "videostorm": run_videostorm(bundle, cores=machine.vcpus),
-        "skyscraper": run_skyscraper(bundle, cores=machine.vcpus),
+        name: runner.run(name, cores=machine.vcpus)
+        for name in ("static", "chameleon*", "videostorm", "skyscraper")
     }
 
     table = ExperimentTable(f"COVID on {machine.name} ({hours:.1f} h of video)")

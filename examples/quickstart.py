@@ -12,6 +12,9 @@ Run with::
 
 from __future__ import annotations
 
+import tempfile
+
+from repro.core.artifacts import OfflineArtifacts
 from repro.core.skyscraper import Skyscraper, SkyscraperResources
 from repro.workloads.ev import EVCountingWorkload
 
@@ -71,6 +74,20 @@ def main() -> None:
     print("\nConfiguration usage:")
     for label, count in sorted(result.configuration_usage.items(), key=lambda item: -item[1]):
         print(f"    {label:45s} {count:5d} segments")
+
+    # The offline phase is expensive; its artifacts are serializable, so real
+    # deployments fit once and reload.  The restored instance reproduces the
+    # direct-fit ingestion exactly.
+    print("\nSaving the offline artifacts and restoring without re-fitting ...")
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        sky.export_artifacts().save(tmp_dir)
+        restored = OfflineArtifacts.load(tmp_dir).restore(workload, resources)
+    restored_result = restored.ingest(
+        source, start_time=report_start(report), duration=2 * 3600.0
+    )
+    match = restored_result.weighted_quality == result.weighted_quality
+    print(f"  restored quality:      {restored_result.weighted_quality:.3f} "
+          f"({'identical to' if match else 'differs from'} the direct fit)")
 
 
 def report_start(report) -> float:

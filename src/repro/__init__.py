@@ -12,11 +12,29 @@ The package is organized as:
   COVID, MOT, MOSEI);
 * :mod:`repro.baselines` — Static, Chameleon*, VideoStorm, Optimum and the
   idealized Appendix-B design;
-* :mod:`repro.experiments` — the harness behind every benchmark.
+* :mod:`repro.registry` — the pluggable policy registry every system
+  registers with;
+* :mod:`repro.experiments` — the unified experiment runner and the harness
+  behind every benchmark.
 """
 
 from repro.core.skyscraper import Skyscraper, SkyscraperResources
 from repro.core.engine import IngestionEngine, IngestionResult
+from repro.core.artifacts import OfflineArtifacts
+from repro.registry import (
+    PolicySpec,
+    RunContext,
+    create_policy,
+    policy_names,
+    policy_spec,
+    register_policy,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentRunner,
+    SystemBundle,
+    prepare_bundle,
+)
 from repro.errors import (
     ReproError,
     ConfigurationError,
@@ -36,6 +54,17 @@ __all__ = [
     "SkyscraperResources",
     "IngestionEngine",
     "IngestionResult",
+    "OfflineArtifacts",
+    "PolicySpec",
+    "RunContext",
+    "create_policy",
+    "policy_names",
+    "policy_spec",
+    "register_policy",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "SystemBundle",
+    "prepare_bundle",
     "ReproError",
     "ConfigurationError",
     "BufferOverflowError",

@@ -29,8 +29,11 @@ from repro.core.engine import IngestionEngine, IngestionResult, SegmentTrace
 from repro.core.policy import Policy, SkyscraperPolicy
 from repro.core.filtering import filter_knob_configurations, sample_diverse_segments
 from repro.core.skyscraper import Skyscraper, SkyscraperResources
+from repro.core.artifacts import ForecasterState, OfflineArtifacts
 
 __all__ = [
+    "ForecasterState",
+    "OfflineArtifacts",
     "Knob",
     "KnobConfiguration",
     "KnobSpace",

@@ -68,6 +68,31 @@ class ContentCategorizer:
         self._model = model
         return self
 
+    @classmethod
+    def from_centers(
+        cls,
+        centers: np.ndarray,
+        method: str = "kmeans",
+        seed: int = 0,
+        n_categories: Optional[int] = None,
+    ) -> "ContentCategorizer":
+        """Rebuild a fitted categorizer from saved cluster centers.
+
+        Classification only needs the centers, so this restores everything a
+        serialized offline phase requires (see
+        :class:`~repro.core.artifacts.OfflineArtifacts`).
+        """
+        center_array = np.asarray(centers, dtype=float)
+        if center_array.ndim != 2 or center_array.shape[0] == 0:
+            raise ConfigurationError("centers must be a non-empty 2-D array")
+        categorizer = cls(
+            n_categories=n_categories or center_array.shape[0],
+            method=method,
+            seed=seed,
+        )
+        categorizer._centers = center_array
+        return categorizer
+
     @property
     def is_fitted(self) -> bool:
         return self._centers is not None

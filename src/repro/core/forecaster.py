@@ -173,6 +173,17 @@ class ContentForecaster:
         return self._network.is_fitted
 
     # ------------------------------------------------------------------ #
+    # Checkpointing (used by the serialized offline artifacts)
+    # ------------------------------------------------------------------ #
+    def get_parameters(self) -> List[np.ndarray]:
+        """Flat copy of the network's weights and biases."""
+        return self._network.get_parameters()
+
+    def restore_parameters(self, parameters: Sequence[np.ndarray]) -> None:
+        """Load trained weights and mark the forecaster fitted."""
+        self._network.restore_parameters(parameters)
+
+    # ------------------------------------------------------------------ #
     # Prediction
     # ------------------------------------------------------------------ #
     def predict(self, recent_histograms: Sequence[Sequence[float]]) -> np.ndarray:

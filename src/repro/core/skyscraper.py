@@ -6,12 +6,25 @@ Typical usage mirrors the paper's code snippet::
     sky = Skyscraper(workload, SkyscraperResources(cores=8, buffer_bytes=4_000_000_000,
                                                    cloud_budget_per_day=5.0))
     report = sky.fit(source, unlabeled_days=14)
-    result = sky.ingest(source, start_time=report.online_start, duration=8 * 86_400)
+    result = sky.ingest(source, start_time=14 * 86_400, duration=8 * 86_400)
 
 ``fit`` runs the offline phase of Section 3 (filter knob configurations and
 placements, build content categories, train the forecaster) and records the
 per-step runtimes reported in Table 3.  ``ingest`` runs the online phase of
 Section 4 through the ingestion engine.
+
+The offline state is serializable: ``sky.export_artifacts().save(path)``
+writes it to disk and :meth:`~repro.core.artifacts.OfflineArtifacts.restore`
+rebuilds a fitted instance without re-running ``fit``.  Experiments compare
+Skyscraper against the baselines through the policy registry and the
+experiment runner::
+
+    from repro.experiments import ExperimentConfig, ExperimentRunner, prepare_bundle
+
+    bundle = prepare_bundle(setup, ExperimentConfig(), cache_dir="~/.cache/skyscraper")
+    runner = ExperimentRunner(bundle)
+    result = runner.run("skyscraper", cores=8)      # any registered policy name
+    points = runner.sweep(["static", "chameleon*", "skyscraper"])
 """
 
 from __future__ import annotations
@@ -231,11 +244,7 @@ class Skyscraper:
         )
         self.categorizer.fit(quality_vectors)
         report.n_categories = self.categorizer.actual_categories
-        for config_index, profile in enumerate(self.profiles):
-            for category in range(self.categorizer.actual_categories):
-                profile.category_quality[category] = self.categorizer.category_quality(
-                    config_index, category
-                )
+        self.attach_category_qualities(self.profiles)
         report.step_runtimes_seconds["compute_content_categories"] = (
             time.perf_counter() - started
         )
@@ -321,6 +330,10 @@ class Skyscraper:
             forecaster_splits=self.forecaster_splits,
             categorizer_method=self.categorizer_method,
             cost_model=self.cost_model,
+            # Base the clone's cloud spec on this instance's: custom pricing,
+            # uplink and latency settings survive re-provisioning while the
+            # daily budget comes from the new resources.
+            cloud=self.cloud,
             seed=self.seed,
         )
         clone.categorizer = self.categorizer
@@ -333,12 +346,25 @@ class Skyscraper:
             cloud=clone.cloud,
             mean_qualities=self.report.mean_qualities,
         )
-        for config_index, profile in enumerate(clone.profiles):
+        clone.attach_category_qualities(clone.profiles)
+        return clone
+
+    def attach_category_qualities(self, profiles: ProfileSet) -> None:
+        """Fill per-category qualities of ``profiles`` from the categorizer."""
+        if self.categorizer is None:
+            raise NotFittedError("a fitted categorizer is required")
+        for config_index, profile in enumerate(profiles):
             for category in range(self.categorizer.actual_categories):
                 profile.category_quality[category] = self.categorizer.category_quality(
                     config_index, category
                 )
-        return clone
+
+    def export_artifacts(self):
+        """The offline phase's state as serializable
+        :class:`~repro.core.artifacts.OfflineArtifacts`."""
+        from repro.core.artifacts import OfflineArtifacts
+
+        return OfflineArtifacts.from_skyscraper(self)
 
     # ------------------------------------------------------------------ #
     # Online phase (Section 4)

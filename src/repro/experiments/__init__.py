@@ -1,9 +1,13 @@
-"""Experiment harness: hardware tiers, end-to-end runs, sweeps and formatting.
+"""Experiment harness: hardware tiers, the unified runner, sweeps, formatting.
 
 The benchmarks under ``benchmarks/`` are thin wrappers around this package:
 every table and figure of the paper's evaluation section has a function here
 that produces the corresponding rows/series, and a benchmark file that prints
 them (and exercises the code path under ``pytest-benchmark``).
+
+The public experiment API is :class:`ExperimentRunner` plus the policy
+registry (:mod:`repro.registry`); the old ``run_*`` functions remain as
+deprecated shims in :mod:`repro.experiments.harness`.
 """
 
 from repro.experiments.hardware import MACHINE_TIERS, cluster_for, machine_for
@@ -13,16 +17,20 @@ from repro.experiments.results import (
     format_table,
     normalize_series,
 )
-from repro.experiments.harness import (
+from repro.experiments.runner import (
     ExperimentConfig,
+    ExperimentRunner,
     SystemBundle,
+    cost_reduction_factor,
     prepare_bundle,
+    provisioned_cost_dollars,
+)
+from repro.experiments.harness import (
+    cost_quality_sweep,
     run_skyscraper,
     run_static,
     run_chameleon,
     run_videostorm,
-    cost_quality_sweep,
-    provisioned_cost_dollars,
 )
 from repro.experiments.ablation import (
     AblationVariant,
@@ -39,14 +47,16 @@ __all__ = [
     "format_table",
     "normalize_series",
     "ExperimentConfig",
+    "ExperimentRunner",
     "SystemBundle",
     "prepare_bundle",
+    "provisioned_cost_dollars",
+    "cost_reduction_factor",
+    "cost_quality_sweep",
     "run_skyscraper",
     "run_static",
     "run_chameleon",
     "run_videostorm",
-    "cost_quality_sweep",
-    "provisioned_cost_dollars",
     "AblationVariant",
     "ablation_cost_sweep",
     "work_quality_curves",

@@ -15,14 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.baselines.optimum import optimum_assignment
-from repro.baselines.static import best_static_configuration
 from repro.cluster.cost import CostModel
 from repro.errors import ConfigurationError
-from repro.experiments.harness import SystemBundle, run_skyscraper, run_static
 from repro.experiments.hardware import MACHINE_TIERS, machine_for
+from repro.experiments.runner import ExperimentRunner, SystemBundle
 
 SECONDS_PER_DAY = 86_400.0
 
@@ -72,9 +69,7 @@ def _run_variant(
     bundle: SystemBundle, variant: AblationVariant, cores: int
 ) -> "IngestionResult":
     """Run Skyscraper with the variant's resource restrictions."""
-    from repro.baselines.static import StaticPolicy
-    from repro.experiments.harness import run_static as _run_static
-
+    runner = ExperimentRunner(bundle)
     original_buffer = bundle.config.buffer_bytes
     cloud_budget = bundle.config.cloud_budget_per_day if variant.use_cloud else 0.0
     if not variant.use_buffer:
@@ -87,9 +82,11 @@ def _run_variant(
         )
     try:
         if not variant.use_buffer and not variant.use_cloud:
-            result = _run_static(bundle, cores)
+            result = runner.run("static", cores=cores)
         else:
-            result = run_skyscraper(bundle, cores, cloud_budget_per_day=cloud_budget)
+            result = runner.run(
+                "skyscraper", cores=cores, cloud_budget_per_day=cloud_budget
+            )
     finally:
         bundle.config.buffer_bytes = original_buffer
     return result
@@ -158,14 +155,15 @@ def work_quality_curves(
     source = bundle.setup.source
     start, end = bundle.config.online_start, bundle.config.online_end
 
+    runner = ExperimentRunner(bundle)
     static_curve = WorkQualityCurve("static", [], [])
     sky_curve = WorkQualityCurve("skyscraper", [], [])
     for tier in tiers:
         machine = machine_for(tier)
-        static_result = run_static(bundle, machine.vcpus)
+        static_result = runner.run("static", cores=machine.vcpus)
         static_curve.work_core_seconds.append(static_result.total_work_core_seconds)
         static_curve.quality.append(static_result.weighted_quality)
-        sky_result = run_skyscraper(bundle, machine.vcpus)
+        sky_result = runner.run("skyscraper", cores=machine.vcpus)
         sky_curve.work_core_seconds.append(sky_result.total_work_core_seconds)
         sky_curve.quality.append(sky_result.weighted_quality)
 

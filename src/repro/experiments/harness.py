@@ -1,144 +1,71 @@
-"""End-to-end experiment harness.
+"""Deprecated experiment-harness entry points.
 
-The harness runs whole ingestion experiments: fit Skyscraper's offline phase
-on a workload setup, re-provision it for each machine tier, run Skyscraper and
-the baselines through the same ingestion engine, and compute the paper's cost
-and quality numbers.
+The harness API moved to the policy registry (:mod:`repro.registry`) and the
+unified :class:`~repro.experiments.runner.ExperimentRunner`:
+
+* ``run_skyscraper(bundle, cores)`` → ``ExperimentRunner(bundle).run("skyscraper", cores=cores)``
+* ``run_static`` / ``run_chameleon`` / ``run_videostorm`` → ``runner.run("static" | "chameleon*" | "videostorm", ...)``
+* the inline loops of ``cost_quality_sweep`` → ``runner.sweep(systems, tiers)``
+
+``ExperimentConfig``, ``SystemBundle``, ``prepare_bundle``,
+``provisioned_cost_dollars`` and ``cost_reduction_factor`` now live in
+:mod:`repro.experiments.runner` and are re-exported here unchanged.  The
+``run_*`` wrappers below stay for backwards compatibility and emit a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import warnings
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from repro.baselines.chameleon import ChameleonStarPolicy
-from repro.baselines.static import StaticPolicy, best_static_configuration
-from repro.baselines.videostorm import VideoStormPolicy
-from repro.cluster.cost import CostModel, MachineType
-from repro.cluster.resources import CloudSpec
-from repro.core.engine import IngestionEngine, IngestionResult
-from repro.core.skyscraper import Skyscraper, SkyscraperResources
-from repro.errors import ConfigurationError
-from repro.experiments.hardware import MACHINE_TIERS, machine_for
+from repro.core.engine import IngestionResult
 from repro.experiments.results import CostQualityPoint
-from repro.workloads.base import WorkloadSetup
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentRunner,
+    SystemBundle,
+    cost_reduction_factor,
+    prepare_bundle,
+    provisioned_cost_dollars,
+)
 
-SECONDS_PER_DAY = 86_400.0
-
-
-@dataclass
-class ExperimentConfig:
-    """Common knobs of an experiment run.
-
-    The defaults are sized so the full benchmark suite completes in minutes;
-    passing larger ``history_days`` / ``online_days`` approaches the paper's
-    16-day / 8-day setup.
-    """
-
-    history_days: float = 2.0
-    online_days: float = 0.5
-    n_categories: int = 4
-    buffer_bytes: int = 4_000_000_000
-    cloud_budget_per_day: float = 4.0
-    switch_period_seconds: float = 4.0
-    planned_interval_seconds: float = 2 * SECONDS_PER_DAY
-    train_forecaster: bool = False
-    max_configurations: int = 8
-    seed: int = 0
-
-    @property
-    def online_start(self) -> float:
-        return self.history_days * SECONDS_PER_DAY
-
-    @property
-    def online_end(self) -> float:
-        return (self.history_days + self.online_days) * SECONDS_PER_DAY
-
-    @property
-    def online_hours(self) -> float:
-        return self.online_days * 24.0
+__all__ = [
+    "ExperimentConfig",
+    "SystemBundle",
+    "prepare_bundle",
+    "provisioned_cost_dollars",
+    "cost_reduction_factor",
+    "cost_quality_sweep",
+    "run_skyscraper",
+    "run_static",
+    "run_chameleon",
+    "run_videostorm",
+]
 
 
-@dataclass
-class SystemBundle:
-    """A fitted Skyscraper instance plus the setup it was fitted on."""
-
-    setup: WorkloadSetup
-    config: ExperimentConfig
-    skyscraper: Skyscraper
-
-    def reprovision(self, cores: int, cloud_budget_per_day: Optional[float] = None) -> Skyscraper:
-        budget = (
-            self.config.cloud_budget_per_day
-            if cloud_budget_per_day is None
-            else cloud_budget_per_day
-        )
-        resources = SkyscraperResources(
-            cores=cores,
-            buffer_bytes=self.config.buffer_bytes,
-            cloud_budget_per_day=budget,
-        )
-        return self.skyscraper.with_resources(resources)
-
-
-def prepare_bundle(
-    setup: WorkloadSetup,
-    config: Optional[ExperimentConfig] = None,
-    reference_cores: int = 8,
-) -> SystemBundle:
-    """Run the offline phase once for a workload setup."""
-    config = config or ExperimentConfig(
-        history_days=setup.history_days, online_days=setup.online_days
-    )
-    resources = SkyscraperResources(
-        cores=reference_cores,
-        buffer_bytes=config.buffer_bytes,
-        cloud_budget_per_day=config.cloud_budget_per_day,
-    )
-    skyscraper = Skyscraper(
-        setup.workload,
-        resources,
-        n_categories=config.n_categories,
-        switch_period_seconds=config.switch_period_seconds,
-        planned_interval_seconds=config.planned_interval_seconds,
-        seed=config.seed,
-    )
-    skyscraper.fit(
-        setup.source,
-        unlabeled_days=config.history_days,
-        train_forecaster=config.train_forecaster,
-        max_configurations=config.max_configurations,
-    )
-    return SystemBundle(setup=setup, config=config, skyscraper=skyscraper)
-
-
-# --------------------------------------------------------------------- #
-# Single runs
-# --------------------------------------------------------------------- #
-def _engine(
-    bundle: SystemBundle, skyscraper: Skyscraper, keep_traces: bool = False
-) -> IngestionEngine:
-    return IngestionEngine(
-        workload=bundle.setup.workload,
-        source=bundle.setup.source,
-        cluster=skyscraper.resources.cluster_spec(),
-        cloud=skyscraper.cloud,
-        buffer_capacity_bytes=skyscraper.resources.buffer_bytes,
-        keep_traces=keep_traces,
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
 def run_skyscraper(
-    bundle: SystemBundle, cores: int, keep_traces: bool = False,
+    bundle: SystemBundle,
+    cores: int,
+    keep_traces: bool = False,
     cloud_budget_per_day: Optional[float] = None,
 ) -> IngestionResult:
-    """Run Skyscraper on the bundle's online window with the given core count."""
-    skyscraper = bundle.reprovision(cores, cloud_budget_per_day)
-    policy = skyscraper.build_policy(bundle.setup.source.segment_seconds)
-    engine = _engine(bundle, skyscraper, keep_traces)
-    return engine.run(policy, bundle.config.online_start, bundle.config.online_end)
+    """Deprecated: use ``ExperimentRunner(bundle).run("skyscraper", cores=...)``."""
+    _deprecated("run_skyscraper", 'ExperimentRunner.run("skyscraper", ...)')
+    return ExperimentRunner(bundle).run(
+        "skyscraper",
+        cores=cores,
+        keep_traces=keep_traces,
+        cloud_budget_per_day=cloud_budget_per_day,
+    )
 
 
 def run_static(
@@ -147,153 +74,47 @@ def run_static(
     keep_traces: bool = False,
     configuration_index: Optional[int] = None,
 ) -> IngestionResult:
-    """Run the Static baseline (best real-time configuration, no cloud)."""
-    skyscraper = bundle.reprovision(cores, cloud_budget_per_day=0.0)
-    profiles = skyscraper.profiles
-    if configuration_index is None:
-        profile = best_static_configuration(
-            profiles, bundle.setup.source.segment_seconds, cores
-        )
-    else:
-        profile = profiles[configuration_index]
-    policy = StaticPolicy(profiles, profile)
-    engine = _engine(bundle, skyscraper, keep_traces)
-    return engine.run(policy, bundle.config.online_start, bundle.config.online_end)
+    """Deprecated: use ``ExperimentRunner(bundle).run("static", cores=...)``."""
+    _deprecated("run_static", 'ExperimentRunner.run("static", ...)')
+    return ExperimentRunner(bundle).run(
+        "static",
+        cores=cores,
+        keep_traces=keep_traces,
+        configuration_index=configuration_index,
+    )
 
 
 def run_chameleon(
     bundle: SystemBundle, cores: int, keep_traces: bool = False
 ) -> IngestionResult:
-    """Run Chameleon* (content adaptive, buffered, no throughput guarantee)."""
-    skyscraper = bundle.reprovision(cores, cloud_budget_per_day=0.0)
-    policy = ChameleonStarPolicy(bundle.setup.workload, skyscraper.profiles)
-    engine = _engine(bundle, skyscraper, keep_traces)
-    return engine.run(policy, bundle.config.online_start, bundle.config.online_end)
+    """Deprecated: use ``ExperimentRunner(bundle).run("chameleon*", cores=...)``."""
+    _deprecated("run_chameleon", 'ExperimentRunner.run("chameleon*", ...)')
+    return ExperimentRunner(bundle).run("chameleon*", cores=cores, keep_traces=keep_traces)
 
 
 def run_videostorm(
     bundle: SystemBundle, cores: int, keep_traces: bool = False
 ) -> IngestionResult:
-    """Run the VideoStorm baseline (query-load adaptive only)."""
-    skyscraper = bundle.reprovision(cores, cloud_budget_per_day=0.0)
-    policy = VideoStormPolicy(skyscraper.profiles, bundle.setup.source.segment_seconds)
-    engine = _engine(bundle, skyscraper, keep_traces)
-    return engine.run(policy, bundle.config.online_start, bundle.config.online_end)
+    """Deprecated: use ``ExperimentRunner(bundle).run("videostorm", cores=...)``."""
+    _deprecated("run_videostorm", 'ExperimentRunner.run("videostorm", ...)')
+    return ExperimentRunner(bundle).run("videostorm", cores=cores, keep_traces=keep_traces)
 
 
-# --------------------------------------------------------------------- #
-# Cost accounting (Section 5.3 / Table 2)
-# --------------------------------------------------------------------- #
-def provisioned_cost_dollars(
-    machine: MachineType,
-    hours: float,
-    cloud_dollars: float,
-    cost_model: Optional[CostModel] = None,
-) -> float:
-    """Total cost: GCP rental divided by the Appendix-L ratio plus cloud spend."""
-    cost_model = cost_model or CostModel()
-    return cost_model.provisioned_machine_dollars(machine, hours) + cloud_dollars
-
-
-# --------------------------------------------------------------------- #
-# Figure 4 / Table 2 sweep
-# --------------------------------------------------------------------- #
 def cost_quality_sweep(
     bundle: SystemBundle,
-    tiers: Sequence[str] = None,
+    tiers: Optional[Sequence[str]] = None,
     systems: Sequence[str] = ("static", "chameleon", "skyscraper"),
-    skyscraper_tiers: Sequence[str] = None,
+    skyscraper_tiers: Optional[Sequence[str]] = None,
+    max_workers: Optional[int] = None,
 ) -> List[CostQualityPoint]:
     """The Figure 4 sweep: every system on every machine tier.
 
-    Skyscraper is only run on the smaller tiers by default (as in Table 2,
-    where it already reaches peak quality on 4-8 vCPUs).
+    Thin wrapper over :meth:`ExperimentRunner.sweep`, kept for callers of the
+    original function-style API.
     """
-    tiers = list(tiers) if tiers is not None else list(MACHINE_TIERS)
-    skyscraper_tiers = (
-        list(skyscraper_tiers) if skyscraper_tiers is not None else tiers[:2]
+    return ExperimentRunner(bundle).sweep(
+        systems=systems,
+        tiers=tiers,
+        skyscraper_tiers=skyscraper_tiers,
+        max_workers=max_workers,
     )
-    hours = bundle.config.online_hours
-    points: List[CostQualityPoint] = []
-
-    for tier in tiers:
-        machine = machine_for(tier)
-        if "static" in systems:
-            result = run_static(bundle, machine.vcpus)
-            points.append(
-                CostQualityPoint(
-                    system="static",
-                    machine=tier,
-                    vcpus=machine.vcpus,
-                    quality=result.weighted_quality,
-                    cloud_dollars=0.0,
-                    total_dollars=provisioned_cost_dollars(machine, hours, 0.0),
-                    crashed=result.overflowed,
-                )
-            )
-        if "chameleon" in systems:
-            result = run_chameleon(bundle, machine.vcpus)
-            points.append(
-                CostQualityPoint(
-                    system="chameleon*",
-                    machine=tier,
-                    vcpus=machine.vcpus,
-                    quality=result.weighted_quality,
-                    cloud_dollars=0.0,
-                    total_dollars=provisioned_cost_dollars(machine, hours, 0.0),
-                    crashed=result.overflowed,
-                )
-            )
-        if "videostorm" in systems:
-            result = run_videostorm(bundle, machine.vcpus)
-            points.append(
-                CostQualityPoint(
-                    system="videostorm",
-                    machine=tier,
-                    vcpus=machine.vcpus,
-                    quality=result.weighted_quality,
-                    cloud_dollars=0.0,
-                    total_dollars=provisioned_cost_dollars(machine, hours, 0.0),
-                    crashed=result.overflowed,
-                )
-            )
-        if "skyscraper" in systems and tier in skyscraper_tiers:
-            result = run_skyscraper(bundle, machine.vcpus)
-            points.append(
-                CostQualityPoint(
-                    system="skyscraper",
-                    machine=tier,
-                    vcpus=machine.vcpus,
-                    quality=result.weighted_quality,
-                    cloud_dollars=result.cloud_dollars,
-                    total_dollars=provisioned_cost_dollars(machine, hours, result.cloud_dollars),
-                    crashed=result.overflowed,
-                )
-            )
-    return points
-
-
-def cost_reduction_factor(points: Sequence[CostQualityPoint]) -> Optional[float]:
-    """Cheapest Skyscraper cost vs cheapest baseline cost at comparable quality.
-
-    "Comparable" follows the paper's reading of Figure 4: the baseline must
-    reach at least the quality Skyscraper achieves at its cheapest point
-    (minus a small tolerance).  Returns ``None`` when no baseline point
-    qualifies (the baseline never reaches Skyscraper's quality).
-    """
-    sky_points = [point for point in points if point.system == "skyscraper"]
-    baseline_points = [
-        point for point in points if point.system != "skyscraper" and not point.crashed
-    ]
-    if not sky_points or not baseline_points:
-        return None
-    best_sky = min(sky_points, key=lambda point: point.total_dollars)
-    comparable = [
-        point for point in baseline_points if point.quality >= best_sky.quality - 0.03
-    ]
-    if not comparable:
-        return None
-    cheapest_baseline = min(comparable, key=lambda point: point.total_dollars)
-    if best_sky.total_dollars <= 0:
-        return None
-    return cheapest_baseline.total_dollars / best_sky.total_dollars

@@ -24,7 +24,7 @@ from repro.core.profiles import ConfigurationProfile, ProfileSet
 from repro.core.switcher import KnobSwitcher
 from repro.core.knobs import KnobConfiguration
 from repro.errors import ConfigurationError
-from repro.experiments.harness import SystemBundle, run_skyscraper
+from repro.experiments.runner import ExperimentRunner, SystemBundle
 from repro.vision.dag import Task, TaskGraph
 from repro.vision.udf import OperatorCost
 
@@ -52,7 +52,7 @@ def figure3_trace(
     bucket_seconds: float = 3_600.0,
 ) -> Figure3Trace:
     """Run Skyscraper over the bundle's online window and bucket the telemetry."""
-    result = run_skyscraper(bundle, cores=cores, keep_traces=True)
+    result = ExperimentRunner(bundle).run("skyscraper", cores=cores, keep_traces=True)
     workload = bundle.setup.workload
     source = bundle.setup.source
     start = bundle.config.online_start

@@ -1,0 +1,386 @@
+"""The unified experiment runner.
+
+One object runs every system of the evaluation through the same ingestion
+engine: :class:`ExperimentRunner` resolves system names through the policy
+registry (:mod:`repro.registry`), re-provisions the fitted bundle for the
+requested hardware, and executes the run.  Sweeps over (system, machine tier)
+points optionally fan out over processes for multi-core speedup.
+
+The module also owns the experiment bundle machinery: ``ExperimentConfig``
+(the common knobs of a run), ``SystemBundle`` (a fitted Skyscraper plus its
+setup), and ``prepare_bundle`` — which, given ``cache_dir=``, persists the
+offline phase's artifacts and reloads them on subsequent calls instead of
+re-fitting.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.cost import CostModel, MachineType
+from repro.core.artifacts import OfflineArtifacts
+from repro.core.engine import IngestionEngine, IngestionResult
+from repro.core.skyscraper import Skyscraper, SkyscraperResources
+from repro.errors import ConfigurationError
+from repro.experiments.hardware import MACHINE_TIERS, machine_for
+from repro.experiments.results import CostQualityPoint
+from repro.registry import (
+    PolicySpec,
+    RunContext,
+    create_policy,
+    ensure_registered,
+    policy_spec,
+)
+from repro.workloads.base import WorkloadSetup
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass
+class ExperimentConfig:
+    """Common knobs of an experiment run.
+
+    The defaults are sized so the full benchmark suite completes in minutes;
+    passing larger ``history_days`` / ``online_days`` approaches the paper's
+    16-day / 8-day setup.
+    """
+
+    history_days: float = 2.0
+    online_days: float = 0.5
+    n_categories: int = 4
+    buffer_bytes: int = 4_000_000_000
+    cloud_budget_per_day: float = 4.0
+    switch_period_seconds: float = 4.0
+    planned_interval_seconds: float = 2 * SECONDS_PER_DAY
+    train_forecaster: bool = False
+    max_configurations: int = 8
+    seed: int = 0
+
+    @property
+    def online_start(self) -> float:
+        return self.history_days * SECONDS_PER_DAY
+
+    @property
+    def online_end(self) -> float:
+        return (self.history_days + self.online_days) * SECONDS_PER_DAY
+
+    @property
+    def online_hours(self) -> float:
+        return self.online_days * 24.0
+
+
+@dataclass
+class SystemBundle:
+    """A fitted Skyscraper instance plus the setup it was fitted on."""
+
+    setup: WorkloadSetup
+    config: ExperimentConfig
+    skyscraper: Skyscraper
+
+    def reprovision(self, cores: int, cloud_budget_per_day: Optional[float] = None) -> Skyscraper:
+        budget = (
+            self.config.cloud_budget_per_day
+            if cloud_budget_per_day is None
+            else cloud_budget_per_day
+        )
+        resources = SkyscraperResources(
+            cores=cores,
+            buffer_bytes=self.config.buffer_bytes,
+            cloud_budget_per_day=budget,
+        )
+        return self.skyscraper.with_resources(resources)
+
+
+def _bundle_cache_key(
+    setup: WorkloadSetup, config: ExperimentConfig, reference_cores: int
+) -> str:
+    """A stable directory name for one (setup, config, cores) combination.
+
+    The key must distinguish setups beyond the workload name: two COVID
+    setups with different stream seeds or segment lengths produce different
+    offline artifacts, so everything identifying the stream goes into the
+    hashed payload.
+    """
+    workload = setup.workload
+    content_model = getattr(workload, "content_model", None)
+    payload = {
+        "format_version": 2,
+        "workload": workload.name,
+        "workload_seed": getattr(workload, "seed", None),
+        "content_seed": getattr(content_model, "seed", None),
+        "stream": asdict(workload.stream_config)
+        if hasattr(workload, "stream_config")
+        else None,
+        "setup_days": [setup.history_days, setup.online_days],
+        "config": asdict(config),
+        "reference_cores": reference_cores,
+    }
+    digest = hashlib.blake2b(
+        json.dumps(payload, sort_keys=True).encode(), digest_size=10
+    ).hexdigest()
+    return f"{setup.workload.name}-{digest}"
+
+
+def prepare_bundle(
+    setup: WorkloadSetup,
+    config: Optional[ExperimentConfig] = None,
+    reference_cores: int = 8,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> SystemBundle:
+    """Run the offline phase once for a workload setup.
+
+    With ``cache_dir`` set, the offline artifacts are saved under a key
+    derived from the workload and configuration, and later calls restore the
+    fitted state from disk instead of re-running ``fit`` — the whole
+    benchmark suite then fits each workload exactly once.
+    """
+    config = config or ExperimentConfig(
+        history_days=setup.history_days, online_days=setup.online_days
+    )
+    resources = SkyscraperResources(
+        cores=reference_cores,
+        buffer_bytes=config.buffer_bytes,
+        cloud_budget_per_day=config.cloud_budget_per_day,
+    )
+
+    cache_path: Optional[Path] = None
+    if cache_dir is not None:
+        cache_path = (
+            Path(cache_dir).expanduser() / _bundle_cache_key(setup, config, reference_cores)
+        )
+        if (cache_path / "artifacts.json").exists():
+            artifacts = OfflineArtifacts.load(cache_path)
+            skyscraper = artifacts.restore(setup.workload, resources)
+            return SystemBundle(setup=setup, config=config, skyscraper=skyscraper)
+
+    skyscraper = Skyscraper(
+        setup.workload,
+        resources,
+        n_categories=config.n_categories,
+        switch_period_seconds=config.switch_period_seconds,
+        planned_interval_seconds=config.planned_interval_seconds,
+        seed=config.seed,
+    )
+    skyscraper.fit(
+        setup.source,
+        unlabeled_days=config.history_days,
+        train_forecaster=config.train_forecaster,
+        max_configurations=config.max_configurations,
+    )
+    if cache_path is not None:
+        skyscraper.export_artifacts().save(cache_path)
+    return SystemBundle(setup=setup, config=config, skyscraper=skyscraper)
+
+
+# --------------------------------------------------------------------- #
+# Cost accounting (Section 5.3 / Table 2)
+# --------------------------------------------------------------------- #
+def provisioned_cost_dollars(
+    machine: MachineType,
+    hours: float,
+    cloud_dollars: float,
+    cost_model: Optional[CostModel] = None,
+) -> float:
+    """Total cost: GCP rental divided by the Appendix-L ratio plus cloud spend."""
+    cost_model = cost_model or CostModel()
+    return cost_model.provisioned_machine_dollars(machine, hours) + cloud_dollars
+
+
+class ExperimentRunner:
+    """Runs registered systems on a fitted bundle, one call per experiment.
+
+    Args:
+        bundle: the fitted workload bundle (see :func:`prepare_bundle`).
+        max_workers: default process-parallelism of :meth:`sweep`; ``None``
+            or ``1`` runs sequentially.
+
+    Example::
+
+        runner = ExperimentRunner(bundle)
+        static = runner.run("static", cores=8)
+        points = runner.sweep(["static", "chameleon*", "skyscraper"],
+                              tiers=["e2-standard-4", "e2-standard-16"])
+    """
+
+    def __init__(self, bundle: SystemBundle, max_workers: Optional[int] = None):
+        self.bundle = bundle
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------ #
+    # Single runs
+    # ------------------------------------------------------------------ #
+    def context_for(
+        self,
+        system: str,
+        cores: int,
+        cloud_budget_per_day: Optional[float] = None,
+    ) -> RunContext:
+        """The :class:`RunContext` a factory for ``system`` would receive.
+
+        Systems whose registration says they do not use the cloud are
+        re-provisioned with a zero cloud budget (the paper's comparison
+        setup) unless an explicit ``cloud_budget_per_day`` overrides that.
+        """
+        spec = policy_spec(system)
+        if cloud_budget_per_day is None:
+            cloud_budget_per_day = (
+                self.bundle.config.cloud_budget_per_day if spec.uses_cloud else 0.0
+            )
+        skyscraper = self.bundle.reprovision(cores, cloud_budget_per_day)
+        return RunContext(
+            bundle=self.bundle,
+            skyscraper=skyscraper,
+            resources=skyscraper.resources,
+            seed=self.bundle.config.seed,
+        )
+
+    def run(
+        self,
+        system: str,
+        cores: Optional[int] = None,
+        tier: Optional[str] = None,
+        *,
+        keep_traces: bool = False,
+        cloud_budget_per_day: Optional[float] = None,
+        **policy_options,
+    ) -> IngestionResult:
+        """Run one system over the bundle's online window.
+
+        Args:
+            system: a registered policy name (see
+                :func:`repro.registry.policy_names`).
+            cores: on-premise core count; alternatively pass ``tier``.
+            tier: machine-tier name resolved through the hardware catalogue.
+            keep_traces: record per-segment traces in the result.
+            cloud_budget_per_day: override the registry's cloud handling.
+            policy_options: forwarded to the registered policy factory
+                (e.g. ``configuration_index=`` for ``"static"``).
+        """
+        if (cores is None) == (tier is None):
+            raise ConfigurationError("pass exactly one of cores= or tier=")
+        if cores is None:
+            cores = machine_for(tier).vcpus
+        context = self.context_for(system, cores, cloud_budget_per_day)
+        policy = create_policy(system, context, **policy_options)
+        skyscraper = context.skyscraper
+        engine = IngestionEngine(
+            workload=self.bundle.setup.workload,
+            source=self.bundle.setup.source,
+            cluster=skyscraper.resources.cluster_spec(),
+            cloud=skyscraper.cloud,
+            buffer_capacity_bytes=skyscraper.resources.buffer_bytes,
+            keep_traces=keep_traces,
+        )
+        return engine.run(
+            policy, self.bundle.config.online_start, self.bundle.config.online_end
+        )
+
+    def run_point(self, system: str, tier: str, **policy_options) -> CostQualityPoint:
+        """Run one (system, tier) experiment and report its cost-quality point."""
+        spec = policy_spec(system)
+        machine = machine_for(tier)
+        result = self.run(system, cores=machine.vcpus, **policy_options)
+        return CostQualityPoint(
+            system=spec.name,
+            machine=tier,
+            vcpus=machine.vcpus,
+            quality=result.weighted_quality,
+            cloud_dollars=result.cloud_dollars,
+            total_dollars=provisioned_cost_dollars(
+                machine, self.bundle.config.online_hours, result.cloud_dollars
+            ),
+            crashed=result.overflowed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sweeps (Figure 4 / Table 2)
+    # ------------------------------------------------------------------ #
+    def sweep(
+        self,
+        systems: Sequence[str] = ("static", "chameleon*", "skyscraper"),
+        tiers: Optional[Sequence[str]] = None,
+        skyscraper_tiers: Optional[Sequence[str]] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[CostQualityPoint]:
+        """Every system on every machine tier (the Figure 4 sweep).
+
+        Skyscraper is only run on the smaller tiers by default (as in
+        Table 2, where it already reaches peak quality on 4-8 vCPUs).  With
+        ``max_workers > 1`` the (system, tier) points run in a process pool;
+        point order in the returned list is deterministic either way.
+        """
+        tiers = list(tiers) if tiers is not None else list(MACHINE_TIERS)
+        skyscraper_tiers = (
+            list(skyscraper_tiers) if skyscraper_tiers is not None else tiers[:2]
+        )
+        points_to_run: List[Tuple[str, str]] = []
+        for tier in tiers:
+            for system in systems:
+                if policy_spec(system).name == "skyscraper" and tier not in skyscraper_tiers:
+                    continue
+                points_to_run.append((system, tier))
+
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers is None or workers <= 1 or len(points_to_run) <= 1:
+            return [self.run_point(system, tier) for system, tier in points_to_run]
+
+        # The bundle and the swept policy specs are shipped once per worker
+        # through the pool initializer (not once per task): the fitted bundle
+        # is by far the largest object involved, and re-registering the specs
+        # makes runtime-registered policies resolvable under `spawn` workers.
+        specs = [policy_spec(system) for system in systems]
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(points_to_run)),
+            initializer=_init_sweep_worker,
+            initargs=(self.bundle, specs),
+        ) as executor:
+            return list(executor.map(_run_point_task, points_to_run))
+
+
+#: Per-worker state installed by :func:`_init_sweep_worker`.
+_WORKER_BUNDLE: Optional[SystemBundle] = None
+
+
+def _init_sweep_worker(bundle: SystemBundle, specs: Sequence[PolicySpec]) -> None:
+    global _WORKER_BUNDLE
+    _WORKER_BUNDLE = bundle
+    for spec in specs:
+        ensure_registered(spec)
+
+
+def _run_point_task(task: Tuple[str, str]) -> CostQualityPoint:
+    """Module-level worker so sweep points can run in a process pool."""
+    system, tier = task
+    assert _WORKER_BUNDLE is not None, "sweep worker used before initialization"
+    return ExperimentRunner(_WORKER_BUNDLE).run_point(system, tier)
+
+
+def cost_reduction_factor(points: Sequence[CostQualityPoint]) -> Optional[float]:
+    """Cheapest Skyscraper cost vs cheapest baseline cost at comparable quality.
+
+    "Comparable" follows the paper's reading of Figure 4: the baseline must
+    reach at least the quality Skyscraper achieves at its cheapest point
+    (minus a small tolerance).  Returns ``None`` when no baseline point
+    qualifies (the baseline never reaches Skyscraper's quality).
+    """
+    sky_points = [point for point in points if point.system == "skyscraper"]
+    baseline_points = [
+        point for point in points if point.system != "skyscraper" and not point.crashed
+    ]
+    if not sky_points or not baseline_points:
+        return None
+    best_sky = min(sky_points, key=lambda point: point.total_dollars)
+    comparable = [
+        point for point in baseline_points if point.quality >= best_sky.quality - 0.03
+    ]
+    if not comparable:
+        return None
+    cheapest_baseline = min(comparable, key=lambda point: point.total_dollars)
+    if best_sky.total_dollars <= 0:
+        return None
+    return cheapest_baseline.total_dollars / best_sky.total_dollars

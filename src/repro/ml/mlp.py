@@ -118,6 +118,11 @@ class MLP:
             self._weights[layer] = np.array(parameters[2 * layer], dtype=float)
             self._biases[layer] = np.array(parameters[2 * layer + 1], dtype=float)
 
+    def restore_parameters(self, parameters: Sequence[np.ndarray]) -> None:
+        """Load a trained checkpoint: set parameters and mark the network fitted."""
+        self.set_parameters(parameters)
+        self._fitted = True
+
     # ------------------------------------------------------------------ #
     # Forward pass
     # ------------------------------------------------------------------ #

@@ -87,6 +87,7 @@ class CovidWorkload(BaseWorkload):
             stream_config=stream_config
             or StreamConfig(stream_id="covid-shibuya", segment_seconds=2.0),
         )
+        self.seed = seed
         self.detector = SimulatedObjectDetector(family="yolo", seed=seed)
         self.tracker = SimulatedTracker(seed=seed)
         self.mask_classifier = SimulatedClassifier(family="mask_classifier", seed=seed)

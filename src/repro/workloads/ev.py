@@ -71,6 +71,7 @@ class EVCountingWorkload(BaseWorkload):
             stream_config=stream_config
             or StreamConfig(stream_id="ev-traffic-cam", segment_seconds=2.0),
         )
+        self.seed = seed
         self.detector = SimulatedObjectDetector(family="yolo", seed=seed)
         self.tracker = SimulatedTracker(seed=seed)
         self.decode = DecodeCostModel()

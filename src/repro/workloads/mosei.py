@@ -107,6 +107,7 @@ class MoseiWorkload(BaseWorkload):
                 stream_id=f"mosei-{variant}", width=640, height=480, segment_seconds=7.0
             ),
         )
+        self.seed = seed
         self.sentiment = SimulatedClassifier(family="sentiment", seed=seed)
         self.face_embedder = SimulatedEmbedder(
             name="face-embedder", seconds_per_item=0.012, seed=seed

@@ -72,6 +72,7 @@ class MotWorkload(BaseWorkload):
             stream_config=stream_config
             or StreamConfig(stream_id="mot-shibuya", segment_seconds=2.0),
         )
+        self.seed = seed
         self.tracker = SimulatedTransMOT(seed=seed)
         self.embedder = SimulatedEmbedder(name="vgg-embedder", seconds_per_item=0.008, seed=seed)
         self.decode = DecodeCostModel()

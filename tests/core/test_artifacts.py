@@ -1,0 +1,130 @@
+"""Tests for serializable offline artifacts (fit → save → load → ingest)."""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.cluster.resources import CloudSpec
+from repro.core.artifacts import ForecasterState, OfflineArtifacts
+from repro.core.forecaster import ContentForecaster, ForecastDataset
+from repro.core.skyscraper import Skyscraper, SkyscraperResources
+from repro.errors import ConfigurationError, NotFittedError
+
+
+def test_export_requires_fit(covid_workload):
+    sky = Skyscraper(covid_workload, SkyscraperResources(cores=4))
+    with pytest.raises(ConfigurationError):
+        sky.export_artifacts()
+
+
+def test_artifacts_capture_offline_state(fitted_skyscraper):
+    artifacts = fitted_skyscraper.export_artifacts()
+    assert artifacts.workload_name == fitted_skyscraper.workload.name
+    assert artifacts.kept_configurations == fitted_skyscraper.report.kept_configurations
+    assert artifacts.mean_qualities == fitted_skyscraper.report.mean_qualities
+    np.testing.assert_array_equal(
+        artifacts.categorizer_centers, fitted_skyscraper.categorizer.centers
+    )
+    assert artifacts.forecaster_state is None  # fixture fits without the forecaster
+    assert set(artifacts.step_runtimes_seconds) == set(
+        fitted_skyscraper.report.step_runtimes_seconds
+    )
+
+
+def test_save_load_round_trip(fitted_skyscraper, tmp_path):
+    artifacts = fitted_skyscraper.export_artifacts()
+    directory = artifacts.save(tmp_path / "artifacts")
+    assert (directory / "artifacts.json").exists()
+    assert (directory / "arrays.npz").exists()
+
+    loaded = OfflineArtifacts.load(directory)
+    assert loaded.workload_name == artifacts.workload_name
+    assert loaded.kept_configurations == artifacts.kept_configurations
+    assert loaded.mean_qualities == artifacts.mean_qualities
+    assert loaded.seed == artifacts.seed
+    assert loaded.n_placements == artifacts.n_placements
+    np.testing.assert_array_equal(loaded.categorizer_centers, artifacts.categorizer_centers)
+    np.testing.assert_array_equal(loaded.initial_forecast, artifacts.initial_forecast)
+    assert loaded.step_runtimes_seconds == artifacts.step_runtimes_seconds
+
+
+def test_load_missing_directory_raises(tmp_path):
+    with pytest.raises(ConfigurationError):
+        OfflineArtifacts.load(tmp_path / "nothing-here")
+
+
+def test_restore_rejects_other_workloads(fitted_skyscraper, ev_workload):
+    artifacts = fitted_skyscraper.export_artifacts()
+    with pytest.raises(ConfigurationError):
+        artifacts.restore(ev_workload, fitted_skyscraper.resources)
+
+
+def test_restore_reproduces_ingestion_bit_for_bit(
+    fitted_skyscraper, covid_workload, covid_source, tmp_path
+):
+    """fit → save → load → ingest must equal the direct-fit ingestion exactly."""
+    start = 0.5 * 86_400.0
+    direct = fitted_skyscraper.ingest(covid_source, start_time=start, duration=1_800.0)
+
+    fitted_skyscraper.export_artifacts().save(tmp_path / "artifacts")
+    restored = OfflineArtifacts.load(tmp_path / "artifacts").restore(
+        covid_workload, fitted_skyscraper.resources
+    )
+    assert restored.categorizer.actual_categories == (
+        fitted_skyscraper.categorizer.actual_categories
+    )
+    rerun = restored.ingest(covid_source, start_time=start, duration=1_800.0)
+    assert asdict(rerun) == asdict(direct)
+
+
+def test_forecaster_state_round_trip(tmp_path, fitted_skyscraper):
+    """Trained forecaster weights survive save/load exactly."""
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, 3, size=600).tolist()
+    dataset = ForecastDataset.from_labels(
+        labels,
+        n_categories=3,
+        label_period_seconds=60.0,
+        input_seconds=3_600.0,
+        output_seconds=1_800.0,
+        n_splits=4,
+        stride_seconds=300.0,
+    )
+    forecaster = ContentForecaster(n_categories=3, n_splits=4)
+    forecaster.fit(dataset)
+
+    artifacts = fitted_skyscraper.export_artifacts()
+    artifacts.forecaster_state = ForecasterState.from_forecaster(forecaster)
+    artifacts.save(tmp_path / "with-forecaster")
+    loaded = OfflineArtifacts.load(tmp_path / "with-forecaster")
+
+    rebuilt = loaded.forecaster_state.build()
+    assert rebuilt.is_fitted
+    for original, restored in zip(
+        forecaster.get_parameters(), rebuilt.get_parameters()
+    ):
+        np.testing.assert_array_equal(original, restored)
+    histograms = np.full((4, 3), 1.0 / 3.0)
+    np.testing.assert_array_equal(
+        forecaster.predict(histograms), rebuilt.predict(histograms)
+    )
+
+
+def test_with_resources_preserves_custom_cloud(
+    fitted_skyscraper, covid_workload, tmp_path
+):
+    """Re-provisioning keeps non-default cloud pricing/uplink settings."""
+    custom = CloudSpec(uplink_bytes_per_second=1_000_000.0, round_trip_seconds=0.5)
+    artifacts = fitted_skyscraper.export_artifacts()
+    sky = artifacts.restore(
+        covid_workload, fitted_skyscraper.resources, cloud=custom
+    )
+    assert sky.cloud.uplink_bytes_per_second == 1_000_000.0
+
+    clone = sky.with_resources(
+        SkyscraperResources(cores=16, buffer_bytes=1_000_000_000, cloud_budget_per_day=3.0)
+    )
+    assert clone.cloud.uplink_bytes_per_second == 1_000_000.0
+    assert clone.cloud.round_trip_seconds == 0.5
+    assert clone.cloud.daily_budget_dollars == 3.0

@@ -1,0 +1,233 @@
+"""Tests for the policy registry and the unified experiment runner."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.baselines.static import StaticPolicy
+from repro.errors import ConfigurationError
+from repro.experiments.harness import run_chameleon, run_skyscraper, run_static
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentRunner,
+    prepare_bundle,
+)
+from repro.registry import (
+    create_policy,
+    policy_names,
+    policy_spec,
+    register_policy,
+    unregister_policy,
+)
+from repro.workloads.covid import make_covid_setup
+
+
+@pytest.fixture(scope="module")
+def small_bundle():
+    """A deliberately tiny bundle so runner tests stay fast."""
+    setup = make_covid_setup(history_days=0.5, online_days=0.05)
+    config = ExperimentConfig(
+        history_days=0.5,
+        online_days=0.05,
+        max_configurations=5,
+        train_forecaster=False,
+        cloud_budget_per_day=1.0,
+        n_categories=3,
+    )
+    return prepare_bundle(setup, config)
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+def test_builtin_policies_are_registered():
+    names = policy_names()
+    for name in ("skyscraper", "static", "chameleon*", "videostorm", "optimum", "idealized"):
+        assert name in names
+
+
+def test_unknown_policy_name_raises(small_bundle):
+    with pytest.raises(ConfigurationError, match="unknown policy"):
+        policy_spec("does-not-exist")
+    with pytest.raises(ConfigurationError, match="unknown policy"):
+        ExperimentRunner(small_bundle).run("does-not-exist", cores=4)
+
+
+def test_alias_resolves_to_canonical_name():
+    assert policy_spec("chameleon").name == "chameleon*"
+    assert policy_spec("chameleon*").name == "chameleon*"
+
+
+def test_duplicate_registration_raises():
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register_policy("static")(lambda context: None)
+    with pytest.raises(ConfigurationError, match="already registered"):
+        # An alias may not shadow an existing name either.
+        register_policy("fresh-name", aliases=("chameleon",))(lambda context: None)
+    assert "fresh-name" not in policy_names()
+
+
+def test_custom_policy_round_trips_through_the_engine(small_bundle):
+    @register_policy("cheapest-test", description="always the cheapest configuration")
+    def _cheapest(context):
+        cheapest = context.profiles.cheapest()
+        return StaticPolicy(context.profiles, cheapest)
+
+    try:
+        result = ExperimentRunner(small_bundle).run("cheapest-test", cores=4)
+        assert result.segments_total > 0
+        assert len(result.configuration_usage) == 1
+    finally:
+        unregister_policy("cheapest-test")
+    with pytest.raises(ConfigurationError):
+        policy_spec("cheapest-test")
+
+
+def test_create_policy_forwards_options(small_bundle):
+    runner = ExperimentRunner(small_bundle)
+    context = runner.context_for("static", cores=4)
+    policy = create_policy("static", context, configuration_index=0)
+    assert isinstance(policy, StaticPolicy)
+    assert policy.configuration_index == 0
+
+
+# --------------------------------------------------------------------- #
+# Runner
+# --------------------------------------------------------------------- #
+def test_runner_matches_deprecated_shims(small_bundle):
+    runner = ExperimentRunner(small_bundle)
+    with pytest.warns(DeprecationWarning):
+        old_static = run_static(small_bundle, cores=4)
+    assert asdict(runner.run("static", cores=4)) == asdict(old_static)
+
+    with pytest.warns(DeprecationWarning):
+        old_sky = run_skyscraper(small_bundle, cores=4)
+    assert asdict(runner.run("skyscraper", cores=4)) == asdict(old_sky)
+
+    with pytest.warns(DeprecationWarning):
+        old_chameleon = run_chameleon(small_bundle, cores=4)
+    assert asdict(runner.run("chameleon", cores=4)) == asdict(old_chameleon)
+
+
+def test_runner_requires_exactly_one_of_cores_or_tier(small_bundle):
+    runner = ExperimentRunner(small_bundle)
+    with pytest.raises(ConfigurationError):
+        runner.run("static")
+    with pytest.raises(ConfigurationError):
+        runner.run("static", cores=4, tier="e2-standard-4")
+    by_tier = runner.run("static", tier="e2-standard-4")
+    by_cores = runner.run("static", cores=4)
+    assert asdict(by_tier) == asdict(by_cores)
+
+
+def test_cloud_budget_follows_registry_capability(small_bundle):
+    runner = ExperimentRunner(small_bundle)
+    assert runner.context_for("static", cores=4).resources.cloud_budget_per_day == 0.0
+    sky_context = runner.context_for("skyscraper", cores=4)
+    assert sky_context.resources.cloud_budget_per_day == pytest.approx(1.0)
+    override = runner.context_for("skyscraper", cores=4, cloud_budget_per_day=0.0)
+    assert override.resources.cloud_budget_per_day == 0.0
+
+
+def test_offline_baselines_run_through_the_engine(small_bundle):
+    runner = ExperimentRunner(small_bundle)
+    optimum = runner.run("optimum", cores=4)
+    idealized = runner.run("idealized", cores=4)
+    static = runner.run("static", cores=4)
+    for result in (optimum, idealized):
+        assert result.segments_total == static.segments_total
+        assert 0.0 <= result.weighted_quality <= 1.0
+    # The ground-truth Optimum dominates the forecast-driven idealized design
+    # given the same budget (modulo engine effects, hence the tolerance).
+    assert optimum.weighted_quality >= idealized.weighted_quality - 0.05
+
+
+def test_sweep_shapes_and_labels(small_bundle):
+    points = ExperimentRunner(small_bundle).sweep(
+        systems=("static", "chameleon", "skyscraper"),
+        tiers=["e2-standard-4", "e2-standard-16"],
+        skyscraper_tiers=["e2-standard-4"],
+    )
+    systems = {point.system for point in points}
+    assert systems == {"static", "chameleon*", "skyscraper"}
+    assert sum(1 for point in points if point.system == "skyscraper") == 1
+    static_points = [point for point in points if point.system == "static"]
+    assert len(static_points) == 2
+    assert static_points[0].total_dollars < static_points[1].total_dollars
+
+
+def test_parallel_sweep_matches_sequential(small_bundle):
+    runner = ExperimentRunner(small_bundle)
+    kwargs = dict(
+        systems=("static", "skyscraper"),
+        tiers=["e2-standard-4", "e2-standard-8"],
+        skyscraper_tiers=["e2-standard-4"],
+    )
+    sequential = runner.sweep(**kwargs)
+    parallel = runner.sweep(max_workers=2, **kwargs)
+    assert [asdict(point) for point in parallel] == [
+        asdict(point) for point in sequential
+    ]
+
+
+def test_parallel_sweep_resolves_runtime_registered_policies(small_bundle):
+    """Specs are shipped to pool workers, so custom policies sweep fine."""
+
+    @register_policy("cheapest-sweep-test")
+    def _cheapest(context):
+        return StaticPolicy(context.profiles, context.profiles.cheapest())
+
+    try:
+        points = ExperimentRunner(small_bundle).sweep(
+            systems=("cheapest-sweep-test",),
+            tiers=["e2-standard-4", "e2-standard-8"],
+            max_workers=2,
+        )
+        assert [point.system for point in points] == ["cheapest-sweep-test"] * 2
+    finally:
+        unregister_policy("cheapest-sweep-test")
+
+
+def test_prepare_bundle_cache_round_trip(tmp_path):
+    """fit → cache → reload produces identical ingestion results."""
+    setup = make_covid_setup(history_days=0.5, online_days=0.05)
+    config = ExperimentConfig(
+        history_days=0.5,
+        online_days=0.05,
+        max_configurations=4,
+        train_forecaster=False,
+        cloud_budget_per_day=1.0,
+        n_categories=3,
+    )
+    cache_dir = tmp_path / "bundles"
+    first = prepare_bundle(setup, config, cache_dir=cache_dir)
+    cached_dirs = list(cache_dir.iterdir())
+    assert len(cached_dirs) == 1 and (cached_dirs[0] / "artifacts.json").exists()
+
+    second = prepare_bundle(setup, config, cache_dir=cache_dir)
+    result_first = ExperimentRunner(first).run("skyscraper", cores=4)
+    result_second = ExperimentRunner(second).run("skyscraper", cores=4)
+    assert asdict(result_first) == asdict(result_second)
+
+
+def test_prepare_bundle_cache_distinguishes_stream_seeds(tmp_path):
+    """Two setups differing only in the stream seed must not share a cache entry."""
+    config = ExperimentConfig(
+        history_days=0.5,
+        online_days=0.02,
+        max_configurations=4,
+        train_forecaster=False,
+        n_categories=3,
+    )
+    cache_dir = tmp_path / "bundles"
+    prepare_bundle(
+        make_covid_setup(history_days=0.5, online_days=0.02, seed=7),
+        config,
+        cache_dir=cache_dir,
+    )
+    prepare_bundle(
+        make_covid_setup(history_days=0.5, online_days=0.02, seed=8),
+        config,
+        cache_dir=cache_dir,
+    )
+    assert len(list(cache_dir.iterdir())) == 2
