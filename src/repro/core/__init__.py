@@ -16,6 +16,10 @@ guarantees:
 * :mod:`repro.core.switcher` — the reactive knob switcher (Section 4.2);
 * :mod:`repro.core.engine` — the discrete-time ingestion engine enforcing
   the buffer and budget constraints (Equation 1);
+* :mod:`repro.core.events` — the event loop (arrival/finish events on a
+  heap clock) and per-stream :class:`StreamSession` state;
+* :mod:`repro.core.fleet` — the multi-stream :class:`FleetEngine` with
+  pluggable schedulers and a shared daily cloud-budget ledger;
 * :mod:`repro.core.skyscraper` — the user-facing API mirroring Appendix F.
 """
 
@@ -26,6 +30,20 @@ from repro.core.forecaster import ContentForecaster, ForecastDataset
 from repro.core.planner import KnobPlan, KnobPlanner
 from repro.core.switcher import KnobSwitcher, SwitchDecision
 from repro.core.engine import IngestionEngine, IngestionResult, SegmentTrace
+from repro.core.events import EventLoop, StreamSession
+from repro.core.fleet import (
+    DailyBudgetLedger,
+    FifoScheduler,
+    FleetEngine,
+    FleetResult,
+    FleetStream,
+    LagAwareScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    make_scheduler,
+    register_scheduler,
+    scheduler_names,
+)
 from repro.core.policy import Policy, SkyscraperPolicy
 from repro.core.filtering import filter_knob_configurations, sample_diverse_segments
 from repro.core.skyscraper import Skyscraper, SkyscraperResources
@@ -49,6 +67,19 @@ __all__ = [
     "IngestionEngine",
     "IngestionResult",
     "SegmentTrace",
+    "EventLoop",
+    "StreamSession",
+    "DailyBudgetLedger",
+    "FleetEngine",
+    "FleetResult",
+    "FleetStream",
+    "Scheduler",
+    "FifoScheduler",
+    "RoundRobinScheduler",
+    "LagAwareScheduler",
+    "make_scheduler",
+    "register_scheduler",
+    "scheduler_names",
     "Policy",
     "SkyscraperPolicy",
     "filter_knob_configurations",

@@ -20,6 +20,7 @@ direct-fit run exactly.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -167,7 +168,13 @@ class OfflineArtifacts:
                 for configuration, quality in self.mean_qualities.items()
             ],
             "n_placements": self.n_placements,
-            "forecast_validation_mae": self.forecast_validation_mae,
+            # NaN (the "forecaster not trained" marker) is not valid JSON;
+            # persist it as null so artifacts.json stays RFC-8259 clean.
+            "forecast_validation_mae": (
+                None
+                if math.isnan(self.forecast_validation_mae)
+                else self.forecast_validation_mae
+            ),
             "step_runtimes_seconds": self.step_runtimes_seconds,
             "forecaster": None,
         }
@@ -258,7 +265,11 @@ class OfflineArtifacts:
             },
             categorizer_centers=centers,
             n_placements=int(document["n_placements"]),
-            forecast_validation_mae=float(document["forecast_validation_mae"]),
+            forecast_validation_mae=(
+                float("nan")
+                if document["forecast_validation_mae"] is None
+                else float(document["forecast_validation_mae"])
+            ),
             initial_forecast=initial_forecast,
             step_runtimes_seconds={
                 step: float(seconds)

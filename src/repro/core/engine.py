@@ -8,21 +8,27 @@ accumulates in the byte-bounded buffer, and cloud spend is charged against the
 daily budget.  This is the Appendix-M simulation model applied end-to-end; the
 same engine runs every system in the evaluation so comparisons are apples to
 apples.
+
+Since the fleet-runtime redesign the execution itself is event driven: the
+loop lives in :mod:`repro.core.events` (arrival/finish events on a heap
+clock, per-stream :class:`~repro.core.events.StreamSession` state) and
+:mod:`repro.core.fleet` (the multi-stream :class:`~repro.core.fleet.FleetEngine`
+with pluggable schedulers and a shared daily cloud-budget ledger).
+:class:`IngestionEngine` remains the single-stream API: it runs a one-stream
+fleet and returns that stream's result, bit-for-bit identical to the historic
+sequential implementation.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Protocol, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Protocol
 
 from repro.errors import ConfigurationError
 from repro.cluster.profiler import PlacementProfile
 from repro.cluster.resources import CloudSpec, ClusterSpec
 from repro.core.interfaces import SegmentOutcome, VETLWorkload
-from repro.core.profiles import ConfigurationProfile, ProfileSet
+from repro.core.profiles import ConfigurationProfile
 from repro.video.frame import VideoSegment
 from repro.video.stream import SyntheticVideoSource
 
@@ -107,12 +113,13 @@ class SegmentTrace:
 
 @dataclass
 class IngestionResult:
-    """Aggregate outcome of one ingestion run."""
+    """Aggregate outcome of one ingestion run (one stream)."""
 
     workload_name: str
     policy_name: str
     start_time: float
     end_time: float
+    stream_id: str = ""
     segments_total: int = 0
     segments_dropped: int = 0
     total_true_quality: float = 0.0
@@ -123,6 +130,8 @@ class IngestionResult:
     on_prem_core_seconds: float = 0.0
     cloud_core_seconds: float = 0.0
     cloud_dollars: float = 0.0
+    total_lag_seconds: float = 0.0
+    max_lag_seconds: float = 0.0
     peak_buffer_bytes: int = 0
     overflowed: bool = False
     overflow_count: int = 0
@@ -152,12 +161,24 @@ class IngestionResult:
         return self.total_weighted_quality / self.total_quality_weight
 
     @property
+    def mean_lag_seconds(self) -> float:
+        """Mean decision lag over processed (non-dropped) segments."""
+        processed = self.segments_total - self.segments_dropped
+        if processed <= 0:
+            return 0.0
+        return self.total_lag_seconds / processed
+
+    @property
     def total_work_core_seconds(self) -> float:
         return self.on_prem_core_seconds + self.cloud_core_seconds
 
 
 class IngestionEngine:
-    """Runs one V-ETL ingestion with a given policy.
+    """Runs one single-stream V-ETL ingestion with a given policy.
+
+    This is a thin wrapper over a one-stream
+    :class:`~repro.core.fleet.FleetEngine`; multi-stream ingestion with
+    pluggable scheduling lives there.
 
     Args:
         workload: the user's V-ETL job.
@@ -192,170 +213,23 @@ class IngestionEngine:
         self.keep_traces = keep_traces
         self.on_overflow = on_overflow
 
-    # ------------------------------------------------------------------ #
-    # Main loop
-    # ------------------------------------------------------------------ #
     def run(self, policy: Policy, start_time: float, end_time: float) -> IngestionResult:
         """Ingest the stream from ``start_time`` to ``end_time`` with ``policy``."""
-        if end_time <= start_time:
-            raise ConfigurationError("end_time must be after start_time")
-        result = IngestionResult(
-            workload_name=self.workload.name,
-            policy_name=policy.name,
-            start_time=start_time,
-            end_time=end_time,
+        from repro.core.fleet import FleetEngine, FleetStream
+
+        fleet = FleetEngine(
+            cluster=self.cluster,
+            cloud=self.cloud,
+            scheduler="fifo",
+            keep_traces=self.keep_traces,
         )
-
-        runtime_scale = getattr(self.workload, "runtime_scale", None)
-        quality_weight = getattr(self.workload, "quality_weight", None)
-        daily_budget = self.cloud.daily_budget_dollars
-        cloud_spend_by_day: Dict[int, float] = {}
-
-        # Segments whose processing has not finished yet: (finish_time, bytes).
-        unfinished: Deque[Tuple[float, int]] = deque()
-        unfinished_bytes = 0
-        busy_until = start_time
-        last_reported_quality = 1.0
-        last_configuration_index = 0
-        last_decision_index: Optional[int] = None
-
-        for segment in self.source.segments(start_time, end_time):
-            arrival = segment.end_time
-            # Retire segments that finished before this one arrived.
-            while unfinished and unfinished[0][0] <= arrival:
-                _, retired_bytes = unfinished.popleft()
-                unfinished_bytes -= retired_bytes
-            backlog_before = unfinished_bytes
-
-            result.segments_total += 1
-            weight = float(quality_weight(segment)) if quality_weight is not None else 1.0
-            result.total_quality_weight += weight
-            # Overflow check at arrival (Equation 1).
-            if backlog_before + segment.encoded_bytes > self.buffer_capacity_bytes:
-                result.overflowed = True
-                result.overflow_count += 1
-                if self.on_overflow == "raise":
-                    from repro.errors import BufferOverflowError
-
-                    raise BufferOverflowError(
-                        requested_bytes=segment.encoded_bytes,
-                        free_bytes=self.buffer_capacity_bytes - backlog_before,
-                        capacity_bytes=self.buffer_capacity_bytes,
-                    )
-                result.segments_dropped += 1
-                if self.keep_traces:
-                    result.traces.append(
-                        SegmentTrace(
-                            segment_index=segment.segment_index,
-                            arrival_time=arrival,
-                            start_time=arrival,
-                            finish_time=arrival,
-                            configuration_index=-1,
-                            configuration_label="<dropped>",
-                            cloud_tasks=0,
-                            runtime_seconds=0.0,
-                            work_core_seconds=0.0,
-                            cloud_dollars=0.0,
-                            reported_quality=0.0,
-                            true_quality=0.0,
-                            buffer_bytes=backlog_before,
-                            dropped=True,
-                        )
-                    )
-                continue
-
-            occupancy = backlog_before + segment.encoded_bytes
-            result.peak_buffer_bytes = max(result.peak_buffer_bytes, occupancy)
-
-            decision_time = max(arrival, busy_until)
-            day_index = int(decision_time // SECONDS_PER_DAY)
-            spent_today = cloud_spend_by_day.get(day_index, 0.0)
-            cloud_remaining = (
-                float("inf") if daily_budget is None else max(daily_budget - spent_today, 0.0)
-            )
-
-            bytes_per_second = self.source.bytes_per_second(segment.content)
-            lag_seconds = max(decision_time - arrival, 0.0)
-            # The policy decides when the cluster frees up, which can be well
-            # after this segment arrived; by then more video has arrived, so
-            # estimate the occupancy the policy will actually face.
-            estimated_backlog = int(occupancy + lag_seconds * bytes_per_second)
-            context = DecisionContext(
-                segment=segment,
-                decision_time=decision_time,
-                backlog_bytes=min(estimated_backlog, self.buffer_capacity_bytes),
-                buffer_capacity_bytes=self.buffer_capacity_bytes,
-                bytes_per_second=bytes_per_second,
-                lag_seconds=lag_seconds,
-                cloud_budget_remaining=cloud_remaining,
-                last_reported_quality=last_reported_quality,
-                last_configuration_index=last_configuration_index,
-                segments_processed=result.segments_total - 1,
-            )
-            decision = policy.decide(context)
-            placement = decision.placement
-
-            # Enforce the cloud budget even for policies that ignore it.
-            if placement.cloud_dollars > cloud_remaining:
-                placement = decision.profile.on_prem_placement
-
-            scale = 1.0
-            if runtime_scale is not None:
-                scale = float(runtime_scale(decision.profile.configuration, segment))
-            runtime = placement.runtime_seconds * scale
-            extra = decision.extra_work_core_seconds
-            runtime += extra / self.cluster.cores
-
-            start = decision_time
-            finish = start + runtime
-            busy_until = finish
-            unfinished.append((finish, segment.encoded_bytes))
-            unfinished_bytes += segment.encoded_bytes
-
-            outcome = self.workload.evaluate(decision.profile.configuration, segment)
-            policy.observe(outcome, decision)
-
-            cloud_dollars = placement.cloud_dollars * scale
-            cloud_spend_by_day[day_index] = spent_today + cloud_dollars
-            on_prem_work = placement.on_prem_core_seconds * scale + extra
-            cloud_work = placement.cloud_core_seconds * scale
-
-            result.total_true_quality += outcome.true_quality
-            result.total_reported_quality += outcome.reported_quality
-            result.total_weighted_quality += outcome.true_quality * weight
-            result.total_entities += outcome.entities
-            result.on_prem_core_seconds += on_prem_work
-            result.cloud_core_seconds += cloud_work
-            result.cloud_dollars += cloud_dollars
-            label = decision.profile.configuration.short_label()
-            result.configuration_usage[label] = result.configuration_usage.get(label, 0) + 1
-            if last_decision_index is not None and decision.configuration_index != last_decision_index:
-                result.switch_count += 1
-            last_decision_index = decision.configuration_index
-
-            last_reported_quality = outcome.reported_quality
-            last_configuration_index = decision.configuration_index
-
-            if self.keep_traces:
-                result.traces.append(
-                    SegmentTrace(
-                        segment_index=segment.segment_index,
-                        arrival_time=arrival,
-                        start_time=start,
-                        finish_time=finish,
-                        configuration_index=decision.configuration_index,
-                        configuration_label=label,
-                        cloud_tasks=placement.cloud_task_count,
-                        runtime_seconds=runtime,
-                        work_core_seconds=on_prem_work + cloud_work,
-                        cloud_dollars=cloud_dollars,
-                        reported_quality=outcome.reported_quality,
-                        true_quality=outcome.true_quality,
-                        buffer_bytes=occupancy,
-                        category=int(decision.metadata.get("category", -1))
-                        if "category" in decision.metadata
-                        else None,
-                    )
-                )
-
+        stream = FleetStream(
+            workload=self.workload,
+            source=self.source,
+            policy=policy,
+            buffer_capacity_bytes=self.buffer_capacity_bytes,
+            on_overflow=self.on_overflow,
+        )
+        fleet_result = fleet.run([stream], start_time, end_time)
+        (result,) = fleet_result.stream_results.values()
         return result

@@ -1,0 +1,412 @@
+"""The multi-stream fleet engine: N streams on one shared cluster.
+
+One :class:`FleetEngine` ingests a fleet of streams concurrently on a single
+:class:`~repro.cluster.resources.ClusterSpec`: arrivals and finishes from all
+streams interleave on one event loop (:mod:`repro.core.events`), the cloud's
+daily budget is a shared ledger across the fleet, and whenever the cluster
+frees up a pluggable :class:`Scheduler` decides which stream's pending
+segment gets the cores next.
+
+Built-in schedulers:
+
+* ``"fifo"`` — globally oldest pending segment first (arrival order across
+  the whole fleet);
+* ``"round-robin"`` — cycle through the streams in fleet order, skipping
+  streams with nothing pending;
+* ``"lag-aware"`` — serve the stream at greatest risk of violating its
+  buffer bound first: highest buffer-fill fraction, ties broken by lag.
+
+The single-stream :class:`~repro.core.engine.IngestionEngine` is a thin
+wrapper over a one-stream fleet, with bit-for-bit identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Union
+
+from repro.cluster.resources import CloudSpec, ClusterSpec
+from repro.core.engine import IngestionResult, Policy, SECONDS_PER_DAY
+from repro.core.events import ARRIVAL, FINISH, EventLoop, StreamSession
+from repro.core.interfaces import VETLWorkload
+from repro.errors import ConfigurationError
+from repro.video.stream import SyntheticVideoSource
+
+
+# --------------------------------------------------------------------- #
+# Shared daily cloud-budget ledger
+# --------------------------------------------------------------------- #
+class DailyBudgetLedger:
+    """Cloud spend charged against a daily budget shared by a whole fleet.
+
+    The budget resets at every day boundary (``time // 86_400``): spend is
+    bucketed by day index, and the remaining budget at any instant is the
+    daily allowance minus what the fleet already spent that day.  A ``None``
+    budget means unlimited cloud.
+    """
+
+    def __init__(self, daily_budget_dollars: Optional[float]):
+        if daily_budget_dollars is not None and daily_budget_dollars < 0:
+            raise ConfigurationError("daily_budget_dollars must be non-negative")
+        self.daily_budget_dollars = daily_budget_dollars
+        self.spend_by_day: Dict[int, float] = {}
+
+    @staticmethod
+    def day_of(time: float) -> int:
+        return int(time // SECONDS_PER_DAY)
+
+    def spent_on(self, time: float) -> float:
+        """Dollars already spent during the day containing ``time``."""
+        return self.spend_by_day.get(self.day_of(time), 0.0)
+
+    def remaining(self, time: float) -> float:
+        """Budget left for the day containing ``time`` (``inf`` if unlimited)."""
+        if self.daily_budget_dollars is None:
+            return float("inf")
+        return max(self.daily_budget_dollars - self.spent_on(time), 0.0)
+
+    def charge(self, time: float, dollars: float) -> None:
+        """Charge ``dollars`` against the day containing ``time``."""
+        day = self.day_of(time)
+        self.spend_by_day[day] = self.spend_by_day.get(day, 0.0) + dollars
+
+    @property
+    def total_dollars(self) -> float:
+        return sum(self.spend_by_day.values())
+
+
+# --------------------------------------------------------------------- #
+# Pluggable schedulers
+# --------------------------------------------------------------------- #
+class Scheduler(Protocol):
+    """Decides which ready stream's pending segment gets the cluster next.
+
+    ``select`` receives the sessions that have at least one pending segment,
+    in fleet order, and the current simulation time; it returns one of them.
+    Schedulers may keep state between calls (e.g. a round-robin cursor); the
+    fleet engine builds a fresh instance per run when given a name.
+    """
+
+    name: str
+
+    def select(self, ready: Sequence[StreamSession], now: float) -> StreamSession:
+        ...
+
+
+_SCHEDULERS: Dict[str, Callable[[], "Scheduler"]] = {}
+
+
+def register_scheduler(name: str) -> Callable[[Callable[[], "Scheduler"]], Callable[[], "Scheduler"]]:
+    """Register a scheduler factory under ``name`` (used by ``scheduler=`` strings)."""
+    if not name:
+        raise ConfigurationError("scheduler name must be non-empty")
+
+    def decorate(factory: Callable[[], "Scheduler"]) -> Callable[[], "Scheduler"]:
+        if name in _SCHEDULERS:
+            raise ConfigurationError(f"scheduler {name!r} is already registered")
+        _SCHEDULERS[name] = factory
+        return factory
+
+    return decorate
+
+
+def scheduler_names() -> List[str]:
+    """Names of every registered scheduler, sorted."""
+    return sorted(_SCHEDULERS)
+
+
+def make_scheduler(scheduler: Union[str, "Scheduler"]) -> "Scheduler":
+    """Resolve ``scheduler``: a registered name builds a fresh instance."""
+    if isinstance(scheduler, str):
+        if scheduler not in _SCHEDULERS:
+            raise ConfigurationError(
+                f"unknown scheduler {scheduler!r}; registered: {scheduler_names()}"
+            )
+        return _SCHEDULERS[scheduler]()
+    return scheduler
+
+
+@register_scheduler("fifo")
+class FifoScheduler:
+    """Globally oldest pending segment first (fleet-wide arrival order)."""
+
+    name = "fifo"
+
+    def select(self, ready: Sequence[StreamSession], now: float) -> StreamSession:
+        return min(ready, key=lambda session: session.pending[0].arrival_time)
+
+
+@register_scheduler("round-robin")
+class RoundRobinScheduler:
+    """Cycle through the streams in fleet order, skipping idle streams."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def select(self, ready: Sequence[StreamSession], now: float) -> StreamSession:
+        chosen = next(
+            (session for session in ready if session.index >= self._cursor), ready[0]
+        )
+        self._cursor = chosen.index + 1
+        return chosen
+
+
+@register_scheduler("lag-aware")
+class LagAwareScheduler:
+    """Overflow-risk priority: fullest buffer first, ties broken by lag.
+
+    A stream whose buffer is nearly full is about to drop segments no matter
+    how patient the others are, so it gets the cores first; among equally
+    endangered streams the one that has waited longest wins.
+    """
+
+    name = "lag-aware"
+
+    def select(self, ready: Sequence[StreamSession], now: float) -> StreamSession:
+        def priority(session: StreamSession):
+            capacity = session.buffer_capacity_bytes
+            fill = session.buffer_bytes / capacity if capacity > 0 else 1.0
+            lag = now - session.pending[0].arrival_time
+            return (fill, lag)
+
+        return max(ready, key=priority)
+
+
+# --------------------------------------------------------------------- #
+# Fleet streams and results
+# --------------------------------------------------------------------- #
+@dataclass
+class FleetStream:
+    """One member stream of a fleet ingestion.
+
+    Attributes:
+        workload: the stream's V-ETL job.
+        source: the stream's video source.
+        policy: the stream's decision policy (one instance per stream —
+            policies are stateful and must not be shared).
+        stream_id: identifier used in results; defaults to the source's.
+        buffer_capacity_bytes: the stream's video-buffer size.
+        on_overflow: ``"drop"`` or ``"raise"`` (see the engine docs).
+    """
+
+    workload: VETLWorkload
+    source: SyntheticVideoSource
+    policy: Policy
+    stream_id: Optional[str] = None
+    buffer_capacity_bytes: int = 4_000_000_000
+    on_overflow: str = "drop"
+
+
+@dataclass
+class FleetResult:
+    """Aggregate outcome of one fleet ingestion.
+
+    Per-stream :class:`IngestionResult` objects carry the detailed telemetry;
+    the aggregate properties fold them into fleet-level metrics.  See
+    :func:`repro.experiments.results.fleet_point` for the flattened record
+    used by sweeps and benchmarks.
+    """
+
+    scheduler: str
+    start_time: float
+    end_time: float
+    stream_results: Dict[str, IngestionResult] = field(default_factory=dict)
+    cloud_spend_by_day: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def n_streams(self) -> int:
+        return len(self.stream_results)
+
+    @property
+    def results(self) -> List[IngestionResult]:
+        return list(self.stream_results.values())
+
+    @property
+    def segments_total(self) -> int:
+        return sum(result.segments_total for result in self.results)
+
+    @property
+    def segments_dropped(self) -> int:
+        return sum(result.segments_dropped for result in self.results)
+
+    @property
+    def overflow_count(self) -> int:
+        return sum(result.overflow_count for result in self.results)
+
+    @property
+    def overflowed(self) -> bool:
+        return any(result.overflowed for result in self.results)
+
+    @property
+    def cloud_dollars(self) -> float:
+        return sum(result.cloud_dollars for result in self.results)
+
+    @property
+    def on_prem_core_seconds(self) -> float:
+        return sum(result.on_prem_core_seconds for result in self.results)
+
+    @property
+    def cloud_core_seconds(self) -> float:
+        return sum(result.cloud_core_seconds for result in self.results)
+
+    @property
+    def total_work_core_seconds(self) -> float:
+        return self.on_prem_core_seconds + self.cloud_core_seconds
+
+    @property
+    def peak_buffer_bytes(self) -> int:
+        return max((result.peak_buffer_bytes for result in self.results), default=0)
+
+    @property
+    def weighted_quality(self) -> float:
+        """Entity-weighted quality pooled across the whole fleet."""
+        weight = sum(result.total_quality_weight for result in self.results)
+        if weight <= 0:
+            return self.mean_true_quality
+        return sum(result.total_weighted_quality for result in self.results) / weight
+
+    @property
+    def mean_true_quality(self) -> float:
+        total = self.segments_total
+        if total == 0:
+            return 0.0
+        return sum(result.total_true_quality for result in self.results) / total
+
+    @property
+    def max_lag_seconds(self) -> float:
+        return max((result.max_lag_seconds for result in self.results), default=0.0)
+
+    @property
+    def mean_lag_seconds(self) -> float:
+        processed = self.segments_total - self.segments_dropped
+        if processed <= 0:
+            return 0.0
+        return sum(result.total_lag_seconds for result in self.results) / processed
+
+
+# --------------------------------------------------------------------- #
+# The fleet engine
+# --------------------------------------------------------------------- #
+class FleetEngine:
+    """Ingests N streams concurrently on one shared cluster.
+
+    The engine serializes segment processing on the shared cluster — at most
+    one segment is on the cores at a time, exactly as in the single-stream
+    reference model — and interleaves the streams' arrivals, decisions and
+    finishes on an event loop.  Which pending segment runs next is the
+    scheduler's call.
+
+    Args:
+        cluster: the shared on-premise hardware.
+        cloud: shared cloud specification; its ``daily_budget_dollars`` funds
+            the whole fleet through one :class:`DailyBudgetLedger`.
+        scheduler: a registered scheduler name (``"fifo"``,
+            ``"round-robin"``, ``"lag-aware"``) or a :class:`Scheduler`
+            instance.  Names build a fresh instance per run.
+        keep_traces: whether sessions record per-segment traces.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        cloud: Optional[CloudSpec] = None,
+        scheduler: Union[str, Scheduler] = "fifo",
+        keep_traces: bool = True,
+    ):
+        self.cluster = cluster
+        self.cloud = cloud or CloudSpec()
+        self.scheduler = scheduler
+        self.keep_traces = keep_traces
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        streams: Sequence[FleetStream],
+        start_time: float,
+        end_time: float,
+    ) -> FleetResult:
+        """Ingest every stream over ``[start_time, end_time)`` concurrently."""
+        if end_time <= start_time:
+            raise ConfigurationError("end_time must be after start_time")
+        if not streams:
+            raise ConfigurationError("a fleet needs at least one stream")
+
+        sessions: List[StreamSession] = []
+        seen_ids: Dict[str, int] = {}
+        for index, stream in enumerate(streams):
+            session = StreamSession(
+                workload=stream.workload,
+                source=stream.source,
+                policy=stream.policy,
+                buffer_capacity_bytes=stream.buffer_capacity_bytes,
+                stream_id=stream.stream_id,
+                on_overflow=stream.on_overflow,
+                keep_traces=self.keep_traces,
+            )
+            if session.stream_id in seen_ids:
+                raise ConfigurationError(
+                    f"duplicate stream_id {session.stream_id!r} in fleet "
+                    f"(streams {seen_ids[session.stream_id]} and {index}); "
+                    "give each stream a unique stream_id"
+                )
+            seen_ids[session.stream_id] = index
+            session.index = index
+            sessions.append(session)
+
+        scheduler = make_scheduler(self.scheduler)
+        ledger = DailyBudgetLedger(self.cloud.daily_budget_dollars)
+        loop = EventLoop()
+        for session in sessions:
+            session.start(start_time, end_time)
+            self._schedule_next_arrival(loop, session)
+
+        busy_until = start_time
+        while len(loop):
+            now = loop.next_time()
+            # Drain every event at this timestamp (finishes before arrivals)
+            # so the scheduler sees a consistent snapshot of the fleet.
+            while len(loop) and loop.next_time() == now:
+                _, kind, session, payload = loop.pop()
+                if kind == FINISH:
+                    session.on_finish(payload)
+                elif kind == ARRIVAL:
+                    session.on_arrival(payload)
+                    self._schedule_next_arrival(loop, session)
+            # Hand the cluster to pending segments while it is idle; each
+            # decision advances the shared clock, so at most one segment is
+            # in flight at any instant.
+            while busy_until <= now:
+                ready = [session for session in sessions if session.pending]
+                if not ready:
+                    break
+                # Always consult the scheduler, even with one candidate:
+                # stateful schedulers (round-robin's cursor) must observe
+                # every serve to keep their documented order.
+                chosen = scheduler.select(ready, now)
+                entry = chosen.pending.popleft()
+                finish, cloud_dollars = chosen.execute(
+                    entry, now, self.cluster, ledger.remaining(now)
+                )
+                ledger.charge(now, cloud_dollars)
+                busy_until = finish
+                loop.schedule(finish, FINISH, chosen, entry.segment.encoded_bytes)
+
+        return FleetResult(
+            scheduler=getattr(scheduler, "name", type(scheduler).__name__),
+            start_time=start_time,
+            end_time=end_time,
+            stream_results={
+                session.stream_id: session.finalize() for session in sessions
+            },
+            cloud_spend_by_day=dict(ledger.spend_by_day),
+        )
+
+    @staticmethod
+    def _schedule_next_arrival(loop: EventLoop, session: StreamSession) -> None:
+        segment = session.next_segment()
+        if segment is not None:
+            loop.schedule(segment.end_time, ARRIVAL, session, segment)

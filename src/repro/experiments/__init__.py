@@ -14,6 +14,8 @@ from repro.experiments.hardware import MACHINE_TIERS, cluster_for, machine_for
 from repro.experiments.results import (
     CostQualityPoint,
     ExperimentTable,
+    FleetPoint,
+    fleet_point,
     format_table,
     normalize_series,
 )
@@ -44,6 +46,8 @@ __all__ = [
     "machine_for",
     "CostQualityPoint",
     "ExperimentTable",
+    "FleetPoint",
+    "fleet_point",
     "format_table",
     "normalize_series",
     "ExperimentConfig",

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.optimum import optimum_assignment
 from repro.cluster.cost import CostModel
+from repro.core.engine import IngestionResult
 from repro.errors import ConfigurationError
 from repro.experiments.hardware import MACHINE_TIERS, machine_for
 from repro.experiments.runner import ExperimentRunner, SystemBundle
@@ -67,7 +68,7 @@ class AblationPoint:
 
 def _run_variant(
     bundle: SystemBundle, variant: AblationVariant, cores: int
-) -> "IngestionResult":
+) -> IngestionResult:
     """Run Skyscraper with the variant's resource restrictions."""
     runner = ExperimentRunner(bundle)
     original_buffer = bundle.config.buffer_bytes

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
+from repro.core.fleet import FleetResult
 from repro.errors import ConfigurationError
 
 
@@ -30,6 +31,69 @@ class CostQualityPoint:
             "total_cost_usd": round(self.total_dollars, 2),
             "crashed": self.crashed,
         }
+
+
+@dataclass
+class FleetPoint:
+    """One point of a fleet-scaling experiment: (system, scheduler, N streams).
+
+    This is the flattened, serializable aggregation of a
+    :class:`~repro.core.fleet.FleetResult` used by fleet sweeps and the
+    scaling benchmark; build it with :func:`fleet_point`.
+    """
+
+    system: str
+    scheduler: str
+    n_streams: int
+    segments_total: int
+    segments_dropped: int
+    weighted_quality: float
+    mean_lag_seconds: float
+    max_lag_seconds: float
+    cloud_dollars: float
+    peak_buffer_bytes: int
+    wall_seconds: float = 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        if self.segments_total == 0:
+            return 0.0
+        return self.segments_dropped / self.segments_total
+
+    def as_row(self) -> Dict[str, Any]:
+        return {
+            "system": self.system,
+            "scheduler": self.scheduler,
+            "streams": self.n_streams,
+            "segments": self.segments_total,
+            "dropped": self.segments_dropped,
+            "drop_rate": round(self.drop_rate, 4),
+            "quality": round(self.weighted_quality, 3),
+            "mean_lag_s": round(self.mean_lag_seconds, 2),
+            "max_lag_s": round(self.max_lag_seconds, 2),
+            "cloud_usd": round(self.cloud_dollars, 3),
+            "peak_buffer_mb": round(self.peak_buffer_bytes / 1e6, 1),
+            "wall_s": round(self.wall_seconds, 2),
+        }
+
+
+def fleet_point(
+    result: FleetResult, system: str, wall_seconds: float = 0.0
+) -> FleetPoint:
+    """Aggregate a :class:`FleetResult` into one :class:`FleetPoint` record."""
+    return FleetPoint(
+        system=system,
+        scheduler=result.scheduler,
+        n_streams=result.n_streams,
+        segments_total=result.segments_total,
+        segments_dropped=result.segments_dropped,
+        weighted_quality=result.weighted_quality,
+        mean_lag_seconds=result.mean_lag_seconds,
+        max_lag_seconds=result.max_lag_seconds,
+        cloud_dollars=result.cloud_dollars,
+        peak_buffer_bytes=result.peak_buffer_bytes,
+        wall_seconds=wall_seconds,
+    )
 
 
 @dataclass

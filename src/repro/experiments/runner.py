@@ -18,18 +18,21 @@ from __future__ import annotations
 import concurrent.futures
 import hashlib
 import json
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.cost import CostModel, MachineType
 from repro.core.artifacts import OfflineArtifacts
 from repro.core.engine import IngestionEngine, IngestionResult
+from repro.core.fleet import FleetEngine, FleetResult, FleetStream, Scheduler, scheduler_names
 from repro.core.skyscraper import Skyscraper, SkyscraperResources
 from repro.errors import ConfigurationError
 from repro.experiments.hardware import MACHINE_TIERS, machine_for
-from repro.experiments.results import CostQualityPoint
+from repro.experiments.results import CostQualityPoint, FleetPoint, fleet_point
 from repro.registry import (
+    AssignmentReplayPolicy,
     PolicySpec,
     RunContext,
     create_policy,
@@ -37,6 +40,7 @@ from repro.registry import (
     policy_spec,
 )
 from repro.workloads.base import WorkloadSetup
+from repro.workloads.fleet import FleetScenario, make_fleet_scenario
 
 SECONDS_PER_DAY = 86_400.0
 
@@ -82,7 +86,12 @@ class SystemBundle:
     config: ExperimentConfig
     skyscraper: Skyscraper
 
-    def reprovision(self, cores: int, cloud_budget_per_day: Optional[float] = None) -> Skyscraper:
+    def reprovision(
+        self,
+        cores: int,
+        cloud_budget_per_day: Optional[float] = None,
+        buffer_bytes: Optional[int] = None,
+    ) -> Skyscraper:
         budget = (
             self.config.cloud_budget_per_day
             if cloud_budget_per_day is None
@@ -90,7 +99,7 @@ class SystemBundle:
         )
         resources = SkyscraperResources(
             cores=cores,
-            buffer_bytes=self.config.buffer_bytes,
+            buffer_bytes=self.config.buffer_bytes if buffer_bytes is None else buffer_bytes,
             cloud_budget_per_day=budget,
         )
         return self.skyscraper.with_resources(resources)
@@ -219,19 +228,22 @@ class ExperimentRunner:
         system: str,
         cores: int,
         cloud_budget_per_day: Optional[float] = None,
+        buffer_bytes: Optional[int] = None,
     ) -> RunContext:
         """The :class:`RunContext` a factory for ``system`` would receive.
 
         Systems whose registration says they do not use the cloud are
         re-provisioned with a zero cloud budget (the paper's comparison
         setup) unless an explicit ``cloud_budget_per_day`` overrides that.
+        ``buffer_bytes`` overrides the bundle's buffer so policies plan
+        against the buffer the run actually enforces.
         """
         spec = policy_spec(system)
         if cloud_budget_per_day is None:
             cloud_budget_per_day = (
                 self.bundle.config.cloud_budget_per_day if spec.uses_cloud else 0.0
             )
-        skyscraper = self.bundle.reprovision(cores, cloud_budget_per_day)
+        skyscraper = self.bundle.reprovision(cores, cloud_budget_per_day, buffer_bytes)
         return RunContext(
             bundle=self.bundle,
             skyscraper=skyscraper,
@@ -296,6 +308,212 @@ class ExperimentRunner:
             ),
             crashed=result.overflowed,
         )
+
+    # ------------------------------------------------------------------ #
+    # Fleet runs (multi-stream ingestion on one shared cluster)
+    # ------------------------------------------------------------------ #
+    def run_fleet(
+        self,
+        system: str = "skyscraper",
+        *,
+        n_streams: Optional[int] = None,
+        scheduler: Union[str, Scheduler] = "fifo",
+        cores: Optional[int] = None,
+        tier: Optional[str] = None,
+        scenario: Optional[FleetScenario] = None,
+        phase_shift_seconds: Optional[float] = None,
+        heterogeneous: Optional[bool] = None,
+        buffer_bytes: Optional[int] = None,
+        keep_traces: bool = False,
+        cloud_budget_per_day: Optional[float] = None,
+        **policy_options,
+    ) -> FleetResult:
+        """Ingest a fleet of streams concurrently over the bundle's window.
+
+        By default the bundle's stream is replicated across ``n_streams``
+        (default 4) phase-shifted cameras (see
+        :func:`repro.workloads.fleet.make_fleet_scenario`); pass ``scenario``
+        for full control, including per-stream ``system`` overrides — but
+        then the scenario *is* the fleet, so combining it with
+        ``n_streams``/``phase_shift_seconds``/``heterogeneous`` is an error.
+        Every stream gets its own policy instance resolved through the
+        registry and re-provisioned for the buffer that stream actually has
+        (``buffer_bytes`` sets the fleet-wide default, a scenario spec's
+        ``buffer_bytes`` overrides per stream), so a policy's planner and
+        switcher see the same buffer the engine enforces.  The fitted
+        offline artifacts are shared, as is the cluster, the cloud's daily
+        budget, and the scheduler's attention.
+
+        ``policy_options`` are forwarded to the *default* system's policy
+        factory only; streams whose scenario spec overrides ``system`` use
+        that system's registry defaults.
+
+        Note: offline replay systems (``"optimum"``, ``"idealized"``)
+        precompute their assignment on the bundle's base camera (solved once
+        per fleet) and replay it on every stream by segment index, so on
+        shifted or re-seeded cameras they are approximations rather than
+        true upper bounds.
+        """
+        if (cores is None) == (tier is None):
+            raise ConfigurationError("pass exactly one of cores= or tier=")
+        if cores is None:
+            cores = machine_for(tier).vcpus
+        if scenario is None:
+            scenario = make_fleet_scenario(
+                self.bundle.setup,
+                4 if n_streams is None else n_streams,
+                phase_shift_seconds=(
+                    3_600.0 if phase_shift_seconds is None else phase_shift_seconds
+                ),
+                heterogeneous=bool(heterogeneous),
+            )
+        elif not (n_streams is None and phase_shift_seconds is None and heterogeneous is None):
+            raise ConfigurationError(
+                "scenario= already defines the fleet; do not combine it with "
+                "n_streams=, phase_shift_seconds= or heterogeneous="
+            )
+        if scenario.base.workload is not self.bundle.setup.workload:
+            raise ConfigurationError(
+                "the fleet scenario was built from a different workload setup "
+                f"({scenario.base.workload.name!r}) than this runner's bundle "
+                f"({self.bundle.setup.workload.name!r}); build it with "
+                "make_fleet_scenario(runner.bundle.setup, ...) so streams are "
+                "evaluated with the workload the bundle was fitted on"
+            )
+
+        contexts: Dict[Tuple[str, int], RunContext] = {}
+
+        def context_of(system_name: str, stream_buffer: int) -> RunContext:
+            key = (policy_spec(system_name).name, stream_buffer)
+            if key not in contexts:
+                contexts[key] = self.context_for(
+                    system_name, cores, cloud_budget_per_day, buffer_bytes=stream_buffer
+                )
+            return contexts[key]
+
+        default_system = policy_spec(system).name
+        replay_cache: Dict[Tuple[str, int], AssignmentReplayPolicy] = {}
+
+        def policy_for(system_name: str, stream_buffer: int, context: RunContext):
+            # ``policy_options`` configure the *default* system's policies;
+            # per-stream override systems take their registry defaults (their
+            # factories would reject foreign keyword options).
+            canonical = policy_spec(system_name).name
+            options = policy_options if canonical == default_system else {}
+            key = (canonical, stream_buffer)
+            cached = replay_cache.get(key)
+            if cached is not None:
+                # Offline replay systems solve one assignment per context;
+                # re-wrap it per stream instead of re-solving the knapsack N
+                # times for byte-identical results.
+                return AssignmentReplayPolicy(
+                    cached.name, cached.profiles, cached.assignment
+                )
+            policy = create_policy(system_name, context, **options)
+            if isinstance(policy, AssignmentReplayPolicy):
+                replay_cache[key] = policy
+            return policy
+
+        workload = self.bundle.setup.workload
+        default_buffer = (
+            self.bundle.config.buffer_bytes if buffer_bytes is None else buffer_bytes
+        )
+        stream_systems: List[str] = []
+        streams: List[FleetStream] = []
+        for spec in scenario.streams:
+            stream_system = spec.system or system
+            stream_systems.append(stream_system)
+            stream_buffer = (
+                spec.buffer_bytes if spec.buffer_bytes is not None else default_buffer
+            )
+            context = context_of(stream_system, stream_buffer)
+            policy = policy_for(stream_system, stream_buffer, context)
+            streams.append(
+                FleetStream(
+                    workload=workload,
+                    source=spec.source,
+                    policy=policy,
+                    stream_id=spec.stream_id,
+                    buffer_capacity_bytes=stream_buffer,
+                )
+            )
+
+        # The fleet shares one cloud/ledger.  Provision it from a cloud-using
+        # member if there is one, so a non-cloud *default* system (whose
+        # context is re-provisioned with a zero budget) does not silently
+        # starve a mixed fleet's cloud-using streams.
+        engine_system = next(
+            (name for name in stream_systems if policy_spec(name).uses_cloud), system
+        )
+        # Cluster and cloud specs do not depend on the buffer size, so any
+        # already-built context for that system avoids an extra reprovision
+        # (with_resources re-profiles every placement).
+        engine_canonical = policy_spec(engine_system).name
+        context = next(
+            (ctx for (name, _), ctx in contexts.items() if name == engine_canonical),
+            None,
+        )
+        if context is None:
+            context = context_of(engine_system, default_buffer)
+        engine = FleetEngine(
+            cluster=context.skyscraper.resources.cluster_spec(),
+            cloud=context.skyscraper.cloud,
+            scheduler=scheduler,
+            keep_traces=keep_traces,
+        )
+        return engine.run(
+            streams, self.bundle.config.online_start, self.bundle.config.online_end
+        )
+
+    def sweep_fleet(
+        self,
+        system: str = "skyscraper",
+        n_streams_list: Sequence[int] = (1, 4, 16),
+        schedulers: Optional[Sequence[str]] = None,
+        cores: Optional[int] = None,
+        tier: Optional[str] = None,
+        **fleet_options,
+    ) -> List[FleetPoint]:
+        """Fleet scaling sweep: every scheduler at every fleet size.
+
+        Returns one :class:`FleetPoint` per (streams, scheduler) cell, in
+        deterministic order, with the wall-clock time of each simulation
+        recorded for the scaling benchmark.  Hardware defaults to 8 cores;
+        pass ``cores=`` or ``tier=`` like :meth:`run`.  Schedulers must be
+        registered *names* so every cell starts from a fresh instance —
+        sharing one stateful instance across cells would leak state (e.g.
+        the round-robin cursor) and make cells order-dependent; use
+        :meth:`run_fleet` directly for a custom scheduler instance.
+        """
+        resolved = list(schedulers) if schedulers is not None else scheduler_names()
+        for scheduler in resolved:
+            if not isinstance(scheduler, str):
+                raise ConfigurationError(
+                    "sweep_fleet takes registered scheduler names (so each cell "
+                    "gets a fresh instance); pass instances to run_fleet instead"
+                )
+        if cores is None and tier is None:
+            cores = 8
+        points: List[FleetPoint] = []
+        for n_streams in n_streams_list:
+            for scheduler in resolved:
+                started = time.perf_counter()
+                result = self.run_fleet(
+                    system,
+                    n_streams=n_streams,
+                    scheduler=scheduler,
+                    cores=cores,
+                    tier=tier,
+                    **fleet_options,
+                )
+                points.append(
+                    fleet_point(
+                        result,
+                        system=policy_spec(system).name,
+                        wall_seconds=time.perf_counter() - started,
+                    )
+                )
+        return points
 
     # ------------------------------------------------------------------ #
     # Sweeps (Figure 4 / Table 2)

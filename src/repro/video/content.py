@@ -193,6 +193,23 @@ class ContentModel:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
+    def with_seed(self, seed: int) -> "ContentModel":
+        """A copy of this model with a different seed, same dynamics.
+
+        Kept next to the constructor so the parameter list lives in exactly
+        one place (fleet scenarios re-seed cameras through this).
+        """
+        return ContentModel(
+            seed=seed,
+            diurnal=self.diurnal,
+            burst_rate_per_hour=self.burst_rate_per_hour,
+            burst_duration_seconds=self.burst_duration_seconds,
+            burst_magnitude=self.burst_magnitude,
+            noise_level=self.noise_level,
+            spikes=self.spikes,
+            trend_per_day=self.trend_per_day,
+        )
+
     def state_at(self, timestamp: float, stream_load: Optional[float] = None) -> ContentState:
         """Content state at an absolute stream time (seconds)."""
         if timestamp < 0:

@@ -7,10 +7,18 @@
 * :mod:`repro.workloads.mot` — multi-object tracking with a TransMOT-style
   tracker;
 * :mod:`repro.workloads.mosei` — multimodal opinion sentiment over a varying
-  number of concurrent streams (MOSEI-HIGH and MOSEI-LONG spike patterns).
+  number of concurrent streams (MOSEI-HIGH and MOSEI-LONG spike patterns);
+* :mod:`repro.workloads.fleet` — fleet scenarios replicating any workload
+  across N phase-shifted or heterogeneous cameras.
 """
 
 from repro.workloads.base import BaseWorkload, WorkloadSetup
+from repro.workloads.fleet import (
+    FleetScenario,
+    FleetStreamSpec,
+    PhaseShiftedContentModel,
+    make_fleet_scenario,
+)
 from repro.workloads.ev import EVCountingWorkload, make_ev_setup
 from repro.workloads.covid import CovidWorkload, make_covid_setup
 from repro.workloads.mot import MotWorkload, make_mot_setup
@@ -19,6 +27,10 @@ from repro.workloads.mosei import MoseiWorkload, make_mosei_setup
 __all__ = [
     "BaseWorkload",
     "WorkloadSetup",
+    "FleetScenario",
+    "FleetStreamSpec",
+    "PhaseShiftedContentModel",
+    "make_fleet_scenario",
     "EVCountingWorkload",
     "make_ev_setup",
     "CovidWorkload",

@@ -1,0 +1,160 @@
+"""Fleet scenarios: replicate a workload across many cameras.
+
+A :class:`FleetScenario` turns one :class:`~repro.workloads.base.WorkloadSetup`
+into N concurrent camera streams sharing a cluster.  Two axes of diversity
+are supported, separately or combined:
+
+* **phase shift** — camera *i* observes the same content process shifted by
+  ``i * phase_shift_seconds`` (cameras across time zones, or streets whose
+  rush hours are offset), via :class:`PhaseShiftedContentModel`;
+* **heterogeneous seeds** — each camera gets its own content seed, so the
+  fleet's streams are statistically similar but sample-level independent.
+
+The offline phase (profiles, categories, forecaster) is fitted once on the
+base camera and shared across the fleet: content categories depend only on
+the content *distribution*, which phase shifts and re-seeding preserve, so a
+fleet operator fits once and deploys everywhere — the multi-camera analogue
+of the paper's single-camera train/test split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.video.content import ContentModel, ContentState
+from repro.video.stream import SyntheticVideoSource
+from repro.workloads.base import WorkloadSetup
+
+
+class PhaseShiftedContentModel:
+    """A time-shifted view of a content model.
+
+    ``state_at(t)`` returns the base model's state at ``t + shift_seconds``,
+    re-stamped with the query time, so a camera built on the shifted model
+    sees the same content process offset in time.  The wrapper satisfies the
+    (duck-typed) content-model interface the video source needs.
+    """
+
+    def __init__(self, base: ContentModel, shift_seconds: float):
+        if shift_seconds < 0:
+            raise ConfigurationError("shift_seconds must be non-negative")
+        self.base = base
+        self.shift_seconds = float(shift_seconds)
+
+    @property
+    def seed(self) -> int:
+        return self.base.seed
+
+    def with_seed(self, seed: int) -> "PhaseShiftedContentModel":
+        """Re-seed the wrapped model, keeping the phase shift."""
+        return PhaseShiftedContentModel(self.base.with_seed(seed), self.shift_seconds)
+
+    def state_at(self, timestamp: float, stream_load: Optional[float] = None) -> ContentState:
+        state = self.base.state_at(timestamp + self.shift_seconds, stream_load)
+        return replace(state, timestamp=float(timestamp))
+
+    def states(self, start: float, end: float, step_seconds: float) -> List[ContentState]:
+        # Delegate to the one sampling implementation (it only needs
+        # ``state_at``) so shifted cameras sample the exact same grid.
+        return ContentModel.states(self, start, end, step_seconds)
+
+
+@dataclass
+class FleetStreamSpec:
+    """One camera of a fleet scenario (engine-agnostic description).
+
+    Attributes:
+        stream_id: unique identifier of the camera.
+        source: the camera's video source.
+        system: optional per-stream policy registry name; ``None`` means the
+            fleet run's default system.
+        buffer_bytes: optional per-stream buffer override.
+    """
+
+    stream_id: str
+    source: SyntheticVideoSource
+    system: Optional[str] = None
+    buffer_bytes: Optional[int] = None
+
+
+@dataclass
+class FleetScenario:
+    """N camera streams derived from one base workload setup.
+
+    The scenario is a pure description — which cameras exist and what they
+    see; policies, hardware, and scheduling are bound later by
+    :meth:`repro.experiments.runner.ExperimentRunner.run_fleet` or directly
+    through :class:`~repro.core.fleet.FleetEngine`.
+    """
+
+    name: str
+    base: WorkloadSetup
+    streams: List[FleetStreamSpec] = field(default_factory=list)
+
+    @property
+    def n_streams(self) -> int:
+        return len(self.streams)
+
+    def stream_ids(self) -> List[str]:
+        return [spec.stream_id for spec in self.streams]
+
+
+def make_fleet_scenario(
+    setup: WorkloadSetup,
+    n_streams: int,
+    phase_shift_seconds: float = 3_600.0,
+    heterogeneous: bool = False,
+    stream_id_prefix: Optional[str] = None,
+    name: Optional[str] = None,
+) -> FleetScenario:
+    """Replicate ``setup``'s stream across ``n_streams`` cameras.
+
+    Camera 0 is the base camera itself (same content model, same stream id
+    semantics); camera *i* sees the content process phase-shifted by
+    ``i * phase_shift_seconds`` and, with ``heterogeneous=True``, from its
+    own content seed.  Stream ids are ``"<prefix>-00"``, ``"<prefix>-01"``,
+    … with the prefix defaulting to the base stream's id.
+
+    Args:
+        setup: the base workload setup (workload + source + time window).
+        n_streams: number of cameras in the fleet.
+        phase_shift_seconds: per-camera time offset of the content process.
+        heterogeneous: give every camera its own content seed.
+        stream_id_prefix: prefix of the generated stream ids.
+        name: scenario name (defaults to ``"<workload>-fleet-<N>"``).
+    """
+    if n_streams < 1:
+        raise ConfigurationError("a fleet scenario needs at least one stream")
+    if phase_shift_seconds < 0:
+        raise ConfigurationError("phase_shift_seconds must be non-negative")
+
+    base_source = setup.source
+    base_model = base_source.content_model
+    if heterogeneous and n_streams > 1 and not hasattr(base_model, "with_seed"):
+        raise ConfigurationError(
+            "heterogeneous fleets need a content model with a with_seed() "
+            f"method; {type(base_model).__name__} has none"
+        )
+    prefix = stream_id_prefix or base_source.stream_id
+    streams: List[FleetStreamSpec] = []
+    for index in range(n_streams):
+        model = base_model
+        if heterogeneous and index > 0:
+            model = base_model.with_seed(getattr(base_model, "seed", 0) + index)
+        # Shifts are NOT wrapped modulo a day: bursts and noise are functions
+        # of absolute time, so wrapping would make camera 24 of an hourly
+        # shifted fleet a byte-identical duplicate of camera 0.
+        shift = index * phase_shift_seconds
+        if shift > 0:
+            model = PhaseShiftedContentModel(model, shift)
+        stream_id = f"{prefix}-{index:02d}"
+        config = replace(base_source.config, stream_id=stream_id)
+        source = SyntheticVideoSource(model, config, size_model=base_source.size_model)
+        streams.append(FleetStreamSpec(stream_id=stream_id, source=source))
+    return FleetScenario(
+        name=name or f"{setup.workload.name}-fleet-{n_streams}",
+        base=setup,
+        streams=streams,
+    )

@@ -231,3 +231,173 @@ def test_prepare_bundle_cache_distinguishes_stream_seeds(tmp_path):
         cache_dir=cache_dir,
     )
     assert len(list(cache_dir.iterdir())) == 2
+
+
+# --------------------------------------------------------------------- #
+# Fleet runs
+# --------------------------------------------------------------------- #
+def test_run_fleet_replicates_the_bundle_stream(small_bundle):
+    runner = ExperimentRunner(small_bundle)
+    result = runner.run_fleet("static", n_streams=3, scheduler="fifo", cores=4)
+    assert result.n_streams == 3
+    assert result.scheduler == "fifo"
+    per_stream = runner.run("static", cores=4).segments_total
+    assert result.segments_total == 3 * per_stream
+    for stream_result in result.results:
+        assert stream_result.policy_name.startswith("static")
+        assert stream_result.segments_total == per_stream
+
+
+def test_run_fleet_single_stream_matches_run(small_bundle):
+    """A 1-stream unshifted fleet is exactly the classic single-stream run."""
+    runner = ExperimentRunner(small_bundle)
+    single = runner.run("static", cores=4)
+    fleet = runner.run_fleet(
+        "static", n_streams=1, scheduler="fifo", cores=4, phase_shift_seconds=0.0
+    )
+    only = fleet.results[0]
+    assert only.segments_total == single.segments_total
+    assert only.total_true_quality == single.total_true_quality
+    assert only.cloud_dollars == single.cloud_dollars
+    assert only.configuration_usage == single.configuration_usage
+    assert fleet.weighted_quality == pytest.approx(single.weighted_quality)
+
+
+def test_run_fleet_requires_exactly_one_of_cores_or_tier(small_bundle):
+    runner = ExperimentRunner(small_bundle)
+    with pytest.raises(ConfigurationError):
+        runner.run_fleet("static", n_streams=2)
+    with pytest.raises(ConfigurationError):
+        runner.run_fleet("static", n_streams=2, cores=4, tier="e2-standard-4")
+
+
+def test_run_fleet_per_stream_system_override(small_bundle):
+    from repro.workloads.fleet import make_fleet_scenario
+
+    runner = ExperimentRunner(small_bundle)
+    scenario = make_fleet_scenario(small_bundle.setup, 2, phase_shift_seconds=0.0)
+    scenario.streams[1].system = "videostorm"
+    result = runner.run_fleet("static", scenario=scenario, cores=4)
+    policies = [stream_result.policy_name for stream_result in result.results]
+    assert policies[0].startswith("static")
+    assert policies[1] == "videostorm"
+
+
+def test_sweep_fleet_shapes(small_bundle):
+    points = ExperimentRunner(small_bundle).sweep_fleet(
+        "static", n_streams_list=(1, 2), schedulers=("fifo", "lag-aware"), cores=4
+    )
+    assert [(point.n_streams, point.scheduler) for point in points] == [
+        (1, "fifo"),
+        (1, "lag-aware"),
+        (2, "fifo"),
+        (2, "lag-aware"),
+    ]
+    for point in points:
+        assert point.system == "static"
+        assert point.segments_total > 0
+        assert point.wall_seconds > 0.0
+        row = point.as_row()
+        assert row["streams"] == point.n_streams
+        assert 0.0 <= row["drop_rate"] <= 1.0
+
+
+def test_sweep_fleet_accepts_tier_and_rejects_instances(small_bundle):
+    runner = ExperimentRunner(small_bundle)
+    by_tier = runner.sweep_fleet(
+        "static", n_streams_list=(1,), schedulers=("fifo",), tier="e2-standard-4"
+    )
+    by_cores = runner.sweep_fleet(
+        "static", n_streams_list=(1,), schedulers=("fifo",), cores=4
+    )
+    assert by_tier[0].segments_total == by_cores[0].segments_total
+    assert by_tier[0].weighted_quality == by_cores[0].weighted_quality
+
+    from repro.core.fleet import RoundRobinScheduler
+
+    with pytest.raises(ConfigurationError, match="registered scheduler names"):
+        runner.sweep_fleet(
+            "static", n_streams_list=(1,), schedulers=(RoundRobinScheduler(),), cores=4
+        )
+
+
+def test_run_fleet_honors_zero_byte_buffer_override(small_bundle):
+    """An explicit 0-byte per-stream buffer means 'drop everything' — it must
+    not be silently replaced by the bundle default."""
+    from repro.workloads.fleet import make_fleet_scenario
+
+    runner = ExperimentRunner(small_bundle)
+    scenario = make_fleet_scenario(small_bundle.setup, 1, phase_shift_seconds=0.0)
+    scenario.streams[0].buffer_bytes = 0
+    result = runner.run_fleet("static", scenario=scenario, cores=4)
+    only = result.results[0]
+    assert only.segments_dropped == only.segments_total > 0
+
+
+def test_run_fleet_scenario_conflicts_with_replication_args(small_bundle):
+    from repro.workloads.fleet import make_fleet_scenario
+
+    runner = ExperimentRunner(small_bundle)
+    scenario = make_fleet_scenario(small_bundle.setup, 2, phase_shift_seconds=0.0)
+    with pytest.raises(ConfigurationError, match="scenario= already defines"):
+        runner.run_fleet("static", scenario=scenario, n_streams=8, cores=4)
+    with pytest.raises(ConfigurationError, match="scenario= already defines"):
+        runner.run_fleet("static", scenario=scenario, heterogeneous=True, cores=4)
+
+
+def test_fleet_policies_plan_against_the_enforced_buffer(small_bundle):
+    """The per-stream buffer override reaches policy construction, so the
+    switcher's overflow avoidance works on the buffer the engine enforces."""
+    runner = ExperimentRunner(small_bundle)
+    context = runner.context_for("skyscraper", cores=4, buffer_bytes=123_000_000)
+    assert context.resources.buffer_bytes == 123_000_000
+    policy = context.skyscraper.build_policy(small_bundle.setup.source.segment_seconds)
+    assert policy.switcher.buffer_capacity_bytes == 123_000_000
+
+    fleet = runner.run_fleet(
+        "skyscraper", n_streams=2, cores=4, buffer_bytes=123_000_000, keep_traces=True
+    )
+    for stream_result in fleet.results:
+        assert all(t.buffer_bytes <= 123_000_000 for t in stream_result.traces)
+
+
+def test_run_fleet_rejects_scenario_from_another_bundle(small_bundle):
+    from repro.workloads.ev import make_ev_setup
+    from repro.workloads.fleet import make_fleet_scenario
+
+    runner = ExperimentRunner(small_bundle)
+    foreign = make_fleet_scenario(make_ev_setup(history_days=0.5, online_days=0.05), 2)
+    with pytest.raises(ConfigurationError, match="different workload setup"):
+        runner.run_fleet("static", scenario=foreign, cores=4)
+
+
+def test_run_fleet_policy_options_scope_to_default_system(small_bundle):
+    """Options for the default system must not crash a mixed fleet whose
+    override system's factory does not accept them."""
+    from repro.workloads.fleet import make_fleet_scenario
+
+    runner = ExperimentRunner(small_bundle)
+    scenario = make_fleet_scenario(small_bundle.setup, 2, phase_shift_seconds=0.0)
+    scenario.streams[1].system = "videostorm"
+    result = runner.run_fleet(
+        "static", scenario=scenario, cores=4, configuration_index=0
+    )
+    assert result.n_streams == 2
+    assert result.results[1].policy_name == "videostorm"
+
+
+def test_run_fleet_replay_systems_solve_once_and_replay_per_stream(small_bundle):
+    """'optimum' fleets reuse one solved assignment: with unshifted clones,
+    every stream replays identical decisions regardless of shared-cluster
+    scheduling, so totals are exact multiples of the single-stream run."""
+    runner = ExperimentRunner(small_bundle)
+    single = runner.run("optimum", cores=4)
+    fleet = runner.run_fleet(
+        "optimum", n_streams=3, cores=4, phase_shift_seconds=0.0
+    )
+    assert fleet.segments_total == 3 * single.segments_total
+    assert fleet.results[0].total_true_quality == pytest.approx(
+        single.total_true_quality
+    )
+    for stream_result in fleet.results:
+        assert stream_result.configuration_usage == single.configuration_usage

@@ -150,3 +150,26 @@ def test_property_segment_sizes_positive_and_bounded(index):
     # No 2-second HD segment should exceed ~3 MB.
     assert segment.encoded_bytes < 3_000_000
     assert 0 <= segment.ground_truth_objects <= source.config.max_objects
+
+
+def test_content_model_with_seed_copies_dynamics():
+    from repro.video.content import ContentModel, SpikeSchedule
+
+    base = ContentModel(
+        seed=3,
+        burst_rate_per_hour=12.0,
+        noise_level=0.11,
+        spikes=SpikeSchedule(period_seconds=600.0, duration_seconds=60.0, magnitude=0.4),
+        trend_per_day=0.02,
+    )
+    clone = base.with_seed(9)
+    assert clone.seed == 9
+    assert clone.burst_rate_per_hour == base.burst_rate_per_hour
+    assert clone.noise_level == base.noise_level
+    assert clone.spikes is base.spikes
+    assert clone.trend_per_day == base.trend_per_day
+    # Different seed, different realization of the same process.
+    times = [1_000.0, 20_000.0, 60_000.0]
+    assert [clone.state_at(t).activity for t in times] != [
+        base.state_at(t).activity for t in times
+    ]
