@@ -12,6 +12,7 @@ Run with::
 
 from __future__ import annotations
 
+import shutil
 import tempfile
 
 from repro.core.artifacts import OfflineArtifacts
@@ -34,10 +35,14 @@ def main() -> None:
     )
     sky = Skyscraper(workload, resources, n_categories=4, seed=0)
 
-    # Offline phase (Section 3): filter knob configurations and placements,
-    # build content categories, train the forecaster.  A short history keeps
-    # the example fast; the paper uses two weeks.
-    print("Running the offline learning phase on 12 hours of recorded video ...")
+    # Offline phase (Section 3): a staged pipeline that filters knob
+    # configurations and placements, builds content categories and (when
+    # enabled) trains the forecaster.  A short history keeps the example
+    # fast; the paper uses two weeks.  A persistent stage_cache_dir= makes
+    # re-runs resume from the cached per-stage artifacts, and executor=N
+    # fans the stages' independent work units over a process pool.
+    print("Running the staged offline pipeline on 12 hours of recorded video ...")
+    stage_cache_dir = tempfile.mkdtemp(prefix="skyscraper-stages-")
     report = sky.fit(
         source,
         unlabeled_days=0.5,
@@ -46,6 +51,7 @@ def main() -> None:
         forecast_label_period_seconds=60.0,
         max_configurations=6,
         train_forecaster=False,
+        stage_cache_dir=stage_cache_dir,
     )
     print(f"  kept {len(report.kept_configurations)} knob configurations:")
     for profile in sky.profiles:
@@ -57,8 +63,27 @@ def main() -> None:
     print(f"  content categories: {report.n_categories}")
     for line in sky.categorizer.describe():
         print(f"    {line}")
-    for step, seconds in report.step_runtimes_seconds.items():
-        print(f"  offline step {step:32s} {seconds:6.2f} s")
+    for stage, seconds in report.stage_runtimes_seconds.items():
+        print(f"  offline stage {stage:28s} {seconds:6.2f} s")
+    print(
+        f"  evaluation cache: {report.evaluation_cache_misses} evaluations, "
+        f"{report.evaluation_cache_hits} deduplicated hits"
+    )
+
+    # A second fit resumes entirely from the per-stage artifacts on disk.
+    refit_report = Skyscraper(workload, resources, n_categories=4, seed=0).fit(
+        source,
+        unlabeled_days=0.5,
+        n_presample_segments=120,
+        n_category_samples=150,
+        forecast_label_period_seconds=60.0,
+        max_configurations=6,
+        train_forecaster=False,
+        stage_cache_dir=stage_cache_dir,
+    )
+    resumed = [stage for stage, hit in refit_report.stage_cache_hits.items() if hit]
+    print(f"  re-fit resumed from cache: {', '.join(resumed)}")
+    shutil.rmtree(stage_cache_dir, ignore_errors=True)
 
     # Online phase (Section 4): ingest two hours of live video starting right
     # after the recorded history.

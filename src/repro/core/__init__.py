@@ -8,6 +8,9 @@ guarantees:
   knob configuration (offline phase, Section 3.1);
 * :mod:`repro.core.filtering` — knob-configuration filtering by greedy hill
   climbing over diverse sampled segments (Appendix A.1);
+* :mod:`repro.core.offline` — the staged offline pipeline: shared evaluation
+  cache, batched evaluation, pluggable executors, resumable per-stage
+  artifacts (Section 3 end to end);
 * :mod:`repro.core.categorizer` — content categories from KMeans over
   quality vectors (Section 3.2);
 * :mod:`repro.core.forecaster` — the feed-forward forecasting model
@@ -46,6 +49,16 @@ from repro.core.fleet import (
 )
 from repro.core.policy import Policy, SkyscraperPolicy
 from repro.core.filtering import filter_knob_configurations, sample_diverse_segments
+from repro.core.offline import (
+    EvaluationCache,
+    OfflineFitParams,
+    OfflinePhaseReport,
+    OfflinePipeline,
+    ProcessExecutor,
+    SerialExecutor,
+    StageCache,
+    profile_configurations,
+)
 from repro.core.skyscraper import Skyscraper, SkyscraperResources
 from repro.core.artifacts import ForecasterState, OfflineArtifacts
 
@@ -84,6 +97,14 @@ __all__ = [
     "SkyscraperPolicy",
     "filter_knob_configurations",
     "sample_diverse_segments",
+    "EvaluationCache",
+    "OfflineFitParams",
+    "OfflinePhaseReport",
+    "OfflinePipeline",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "StageCache",
+    "profile_configurations",
     "Skyscraper",
     "SkyscraperResources",
 ]

@@ -144,6 +144,24 @@ class ContentCategorizer:
         distances = np.abs(centers[:, configuration_index] - observed_quality)
         return int(np.argmin(distances))
 
+    def classify_partial_many(
+        self, configuration_index: int, observed_qualities: Sequence[float]
+    ) -> np.ndarray:
+        """Vectorized :meth:`classify_partial` over a series of observations.
+
+        Ties break toward the lowest category index, exactly like the scalar
+        rule, so the offline labeling pass can batch through here and stay
+        bit-for-bit identical to a per-observation loop.
+        """
+        centers = self.centers
+        if not 0 <= configuration_index < centers.shape[1]:
+            raise ConfigurationError("configuration_index out of range")
+        observed = np.asarray(observed_qualities, dtype=float)
+        if observed.ndim != 1:
+            raise ConfigurationError("observed_qualities must be 1-D")
+        distances = np.abs(observed[:, np.newaxis] - centers[np.newaxis, :, configuration_index])
+        return np.argmin(distances, axis=1)
+
     def classify_many(self, quality_vectors: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`classify` over many quality vectors."""
         vectors = np.asarray(quality_vectors, dtype=float)

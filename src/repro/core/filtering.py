@@ -11,16 +11,23 @@ work-quality Pareto frontier:
    and keep the visited configurations on that segment's work-quality Pareto
    frontier;
 4. the filtered set K is the union over the sampled segments.
+
+Every function takes an optional ``evaluator`` (an object exposing
+``evaluate_many``, typically :class:`~repro.core.offline.EvaluationCache`):
+evaluations are then batched and deduplicated against the other offline
+stages.  ``filter_knob_configurations`` additionally accepts an ``executor``
+so its per-segment hill climbs — independent work units — fan out over a
+process pool.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.core.interfaces import VETLWorkload
+from repro.core.interfaces import VETLWorkload, evaluate_pairs
 from repro.core.knobs import KnobConfiguration
 from repro.ml.hillclimb import hill_climb
 from repro.ml.pareto import pareto_front
@@ -38,11 +45,13 @@ def configuration_work(
 def find_extreme_configurations(
     workload: VETLWorkload,
     labeled_segments: Sequence[VideoSegment],
+    evaluator: Optional[Any] = None,
 ) -> Tuple[KnobConfiguration, KnobConfiguration]:
     """The cheapest configuration ``k-`` and the most qualitative ``k+``.
 
     ``k-`` minimizes profiled work on a representative segment; ``k+``
     maximizes the average quality on the small labeled sample (Appendix A.1).
+    The quality scoring runs as one evaluation batch.
     """
     if not labeled_segments:
         raise ConfigurationError("labeled_segments must not be empty")
@@ -55,14 +64,16 @@ def find_extreme_configurations(
         configurations,
         key=lambda config: configuration_work(workload, config, representative),
     )
-    best = max(
-        configurations,
-        key=lambda config: float(
-            np.mean(
-                [workload.evaluate(config, segment).reported_quality for segment in labeled_segments]
-            )
-        ),
-    )
+    pairs = [
+        (configuration, segment)
+        for configuration in configurations
+        for segment in labeled_segments
+    ]
+    outcomes = evaluate_pairs(workload, pairs, evaluator)
+    qualities = np.array(
+        [outcome.reported_quality for outcome in outcomes], dtype=float
+    ).reshape(len(configurations), len(labeled_segments))
+    best = configurations[int(np.argmax(qualities.mean(axis=1)))]
     return cheapest, best
 
 
@@ -74,20 +85,25 @@ def sample_diverse_segments(
     best: Optional[KnobConfiguration] = None,
     n_pre: Optional[int] = None,
     seed: int = 0,
+    evaluator: Optional[Any] = None,
 ) -> List[VideoSegment]:
     """Greedy max-min sampling of segments with diverse content dynamics.
 
     Each candidate segment is represented by the 2-D vector of qualities that
     ``k-`` and ``k+`` achieve on it; the first picked segment is the one with
     the smallest norm and every further pick maximizes the distance to the
-    closest already-picked segment (Appendix A.1).
+    closest already-picked segment (Appendix A.1).  The per-segment
+    evaluations run as one batch, deduplicated against anything the shared
+    ``evaluator`` already measured (e.g. :func:`find_extreme_configurations`).
     """
     if n_search < 1:
         raise ConfigurationError("n_search must be at least 1")
     if not candidate_segments:
         raise ConfigurationError("candidate_segments must not be empty")
     if cheapest is None or best is None:
-        cheapest, best = find_extreme_configurations(workload, list(candidate_segments)[:3])
+        cheapest, best = find_extreme_configurations(
+            workload, list(candidate_segments)[:3], evaluator=evaluator
+        )
 
     rng = np.random.default_rng(seed)
     pool = list(candidate_segments)
@@ -95,15 +111,14 @@ def sample_diverse_segments(
         indices = rng.choice(len(pool), size=n_pre, replace=False)
         pool = [pool[index] for index in indices]
 
-    vectors = np.array(
-        [
-            [
-                workload.evaluate(cheapest, segment).reported_quality,
-                workload.evaluate(best, segment).reported_quality,
-            ]
-            for segment in pool
-        ]
+    pairs = [(cheapest, segment) for segment in pool] + [
+        (best, segment) for segment in pool
+    ]
+    outcomes = evaluate_pairs(workload, pairs, evaluator)
+    qualities = np.array(
+        [outcome.reported_quality for outcome in outcomes], dtype=float
     )
+    vectors = np.stack([qualities[: len(pool)], qualities[len(pool) :]], axis=1)
     selected: List[int] = [int(np.argmin(np.linalg.norm(vectors, axis=1)))]
     while len(selected) < min(n_search, len(pool)):
         selected_vectors = vectors[selected]
@@ -116,11 +131,80 @@ def sample_diverse_segments(
     return [pool[index] for index in selected]
 
 
+def _segment_frontier(
+    payload: Tuple[
+        VETLWorkload,
+        VideoSegment,
+        float,
+        float,
+        Optional[Any],
+        Optional[Dict[KnobConfiguration, float]],
+    ],
+) -> Tuple[
+    List[KnobConfiguration],
+    Dict[KnobConfiguration, float],
+    Dict[KnobConfiguration, float],
+]:
+    """Hill-climb work unit for one search segment.
+
+    Module level so it can run in a process pool; returns the segment's
+    Pareto frontier, the visited configurations with their qualities, and the
+    profiled works.  ``evaluator``/``work_cache`` are only shared in-process
+    (serial execution); pool workers get ``None`` and keep local caches.
+    """
+    workload, segment, work_weight, max_work, evaluator, shared_work_cache = payload
+    knob_space = workload.knob_space
+    domains = knob_space.domains_in_order()
+    representative = workload.representative_segment()
+    work_cache = shared_work_cache if shared_work_cache is not None else {}
+
+    def work_of(configuration: KnobConfiguration) -> float:
+        if configuration not in work_cache:
+            work_cache[configuration] = configuration_work(
+                workload, configuration, representative
+            )
+        return work_cache[configuration]
+
+    quality_cache: Dict[KnobConfiguration, float] = {}
+
+    def quality_of(values: Tuple) -> float:
+        configuration = knob_space.configuration_from_tuple(values)
+        if configuration not in quality_cache:
+            (outcome,) = evaluate_pairs(workload, [(configuration, segment)], evaluator)
+            quality_cache[configuration] = outcome.reported_quality
+        return quality_cache[configuration]
+
+    def objective(values: Tuple) -> float:
+        configuration = knob_space.configuration_from_tuple(values)
+        return quality_of(values) - work_weight * work_of(configuration) / max_work
+
+    # Two starts: the cheapest corner and the most expensive corner.
+    starts = [
+        tuple(domain[0] for domain in domains),
+        tuple(domain[-1] for domain in domains),
+    ]
+    visited: Dict[KnobConfiguration, float] = {}
+    for start in starts:
+        _, _, path = hill_climb(domains, objective, start=start)
+        for values in path:
+            configuration = knob_space.configuration_from_tuple(values)
+            visited[configuration] = quality_of(values)
+
+    # Per-segment work-quality Pareto frontier over the visited set.
+    points = {
+        configuration: (work_of(configuration), quality)
+        for configuration, quality in visited.items()
+    }
+    return list(pareto_front(points)), visited, dict(work_cache)
+
+
 def filter_knob_configurations(
     workload: VETLWorkload,
     search_segments: Sequence[VideoSegment],
     work_weight: float = 0.5,
     max_configurations: Optional[int] = None,
+    evaluator: Optional[Any] = None,
+    executor: Optional[Any] = None,
 ) -> Tuple[List[KnobConfiguration], Dict[KnobConfiguration, float]]:
     """Filter the knob space down to an approximate work-quality Pareto set.
 
@@ -133,6 +217,10 @@ def filter_knob_configurations(
         max_configurations: optional cap on the size of the returned set; if
             the union frontier is larger, the configurations with the best
             quality-per-work spread are kept.
+        evaluator: optional shared evaluation cache (serial execution only).
+        executor: optional offline executor; with more than one worker the
+            per-segment hill climbs run as parallel work units.  Evaluations
+            are deterministic, so the result is identical either way.
 
     Returns:
         ``(configurations, mean_quality)`` where ``configurations`` is ordered
@@ -149,7 +237,9 @@ def filter_knob_configurations(
 
     def work_of(configuration: KnobConfiguration) -> float:
         if configuration not in work_cache:
-            work_cache[configuration] = configuration_work(workload, configuration, representative)
+            work_cache[configuration] = configuration_work(
+                workload, configuration, representative
+            )
         return work_cache[configuration]
 
     max_work = max(
@@ -157,40 +247,28 @@ def filter_knob_configurations(
         1e-9,
     )
 
-    union: Dict[KnobConfiguration, List[float]] = {}
-    for segment in search_segments:
-        quality_cache: Dict[KnobConfiguration, float] = {}
-
-        def quality_of(values: Tuple) -> float:
-            configuration = knob_space.configuration_from_tuple(values)
-            if configuration not in quality_cache:
-                quality_cache[configuration] = workload.evaluate(
-                    configuration, segment
-                ).reported_quality
-            return quality_cache[configuration]
-
-        def objective(values: Tuple) -> float:
-            configuration = knob_space.configuration_from_tuple(values)
-            return quality_of(values) - work_weight * work_of(configuration) / max_work
-
-        # Two starts: the cheapest corner and the most expensive corner.
-        starts = [
-            tuple(domain[0] for domain in domains),
-            tuple(domain[-1] for domain in domains),
+    workers = getattr(executor, "workers", 1) if executor is not None else 1
+    parallel = workers > 1 and len(search_segments) > 1
+    if parallel:
+        # Pool workers keep local caches; the shared evaluator/work cache
+        # would not survive the round trip.
+        payloads = [
+            (workload, segment, work_weight, max_work, None, None)
+            for segment in search_segments
         ]
-        visited: Dict[KnobConfiguration, float] = {}
-        for start in starts:
-            _, _, path = hill_climb(domains, objective, start=start)
-            for values in path:
-                configuration = knob_space.configuration_from_tuple(values)
-                visited[configuration] = quality_of(values)
+        results = executor.map(_segment_frontier, payloads)
+    else:
+        payloads = [
+            (workload, segment, work_weight, max_work, evaluator, work_cache)
+            for segment in search_segments
+        ]
+        results = [_segment_frontier(payload) for payload in payloads]
 
-        # Per-segment work-quality Pareto frontier over the visited set.
-        points = {
-            configuration: (work_of(configuration), quality)
-            for configuration, quality in visited.items()
-        }
-        for configuration in pareto_front(points):
+    union: Dict[KnobConfiguration, List[float]] = {}
+    for frontier, visited, works in results:
+        for configuration, work in works.items():
+            work_cache.setdefault(configuration, work)
+        for configuration in frontier:
             union.setdefault(configuration, []).append(visited[configuration])
 
     mean_quality = {

@@ -10,7 +10,7 @@ boundary; every workload in :mod:`repro.workloads` implements
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol, Sequence, runtime_checkable
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.core.knobs import KnobConfiguration, KnobSpace
 from repro.video.frame import VideoSegment
@@ -61,6 +61,38 @@ class VETLWorkload(Protocol):
         """Process ``segment`` with ``configuration`` and report the outcome."""
         ...
 
+    def evaluate_many(
+        self, pairs: Sequence[Tuple[KnobConfiguration, VideoSegment]]
+    ) -> List[SegmentOutcome]:
+        """Batched :meth:`evaluate` over (configuration, segment) pairs.
+
+        The offline pipeline funnels all of its evaluations through this hook
+        so workloads may vectorize the batch; the default implementation in
+        :class:`~repro.workloads.base.BaseWorkload` simply loops.
+        """
+        ...
+
     def representative_segment(self) -> VideoSegment:
         """A typical segment used for profiling runtimes and placements."""
         ...
+
+
+def evaluate_pairs(
+    workload: VETLWorkload,
+    pairs: Sequence[Tuple[KnobConfiguration, VideoSegment]],
+    evaluator: Optional[Any] = None,
+) -> List[SegmentOutcome]:
+    """Batched evaluation through an optional shared evaluation cache.
+
+    ``evaluator`` is anything exposing ``evaluate_many`` (typically
+    :class:`~repro.core.offline.EvaluationCache`); without one, the batch goes
+    to the workload's own ``evaluate_many`` when present, falling back to a
+    plain loop for minimal protocol implementations.
+    """
+    pairs = list(pairs)
+    if evaluator is not None:
+        return evaluator.evaluate_many(pairs)
+    evaluate_many = getattr(workload, "evaluate_many", None)
+    if evaluate_many is not None:
+        return evaluate_many(pairs)
+    return [workload.evaluate(configuration, segment) for configuration, segment in pairs]

@@ -151,12 +151,37 @@ class ProfileSet:
     def most_expensive(self) -> ConfigurationProfile:
         return self.by_work_ascending()[-1]
 
+    def set_category_qualities(self, matrix: np.ndarray) -> None:
+        """Fill every profile's per-category qualities from one matrix.
+
+        ``matrix`` is ``(n_configurations, n_categories)`` in this set's
+        canonical configuration order — the transpose of the categorizer's
+        cluster centers — so the whole set is filled in a single pass instead
+        of one bounds-checked lookup per (configuration, category) cell.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != len(self._profiles):
+            raise ConfigurationError(
+                f"expected a ({len(self._profiles)}, n_categories) quality matrix, "
+                f"got shape {matrix.shape}"
+            )
+        for profile, row in zip(self._profiles, matrix):
+            profile.category_quality = dict(enumerate(row.tolist()))
+
     def quality_matrix(self, n_categories: int) -> np.ndarray:
         """``(n_configurations, n_categories)`` matrix of per-category qualities."""
-        matrix = np.zeros((len(self._profiles), n_categories))
+        matrix = np.empty((len(self._profiles), n_categories), dtype=float)
         for config_index, profile in enumerate(self._profiles):
-            for category in range(n_categories):
-                matrix[config_index, category] = profile.quality_for_category(category)
+            qualities = profile.category_quality
+            try:
+                matrix[config_index] = [
+                    qualities[category] for category in range(n_categories)
+                ]
+            except KeyError as exc:
+                raise NotFittedError(
+                    f"category {exc.args[0]} quality unknown for configuration "
+                    f"{profile.configuration.short_label()}"
+                ) from exc
         return matrix
 
 

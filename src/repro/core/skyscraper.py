@@ -29,9 +29,9 @@ experiment runner::
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -40,20 +40,29 @@ from repro.cluster.cost import CostModel
 from repro.cluster.resources import CloudSpec, ClusterSpec
 from repro.core.categorizer import ContentCategorizer
 from repro.core.engine import IngestionEngine, IngestionResult
-from repro.core.filtering import (
-    filter_knob_configurations,
-    find_extreme_configurations,
-    sample_diverse_segments,
-)
-from repro.core.forecaster import ContentForecaster, ForecastDataset
+from repro.core.forecaster import ContentForecaster
 from repro.core.interfaces import VETLWorkload
-from repro.core.knobs import KnobConfiguration
+from repro.core.offline import (
+    EvaluationCache,
+    OfflineExecutor,
+    OfflineFitParams,
+    OfflinePhaseReport,
+    OfflinePipeline,
+    label_quality_series,
+    profile_configurations,
+)
 from repro.core.planner import KnobPlanner
 from repro.core.policy import SkyscraperPolicy
-from repro.core.profiles import ProfileSet, build_profiles
+from repro.core.profiles import ProfileSet
 from repro.video.stream import SyntheticVideoSource
 
 SECONDS_PER_DAY = 86_400.0
+
+__all__ = [
+    "OfflinePhaseReport",  # re-exported; lives in repro.core.offline since PR 3
+    "Skyscraper",
+    "SkyscraperResources",
+]
 
 
 @dataclass(frozen=True)
@@ -97,23 +106,6 @@ class SkyscraperResources:
             pricing=base.pricing,
             daily_budget_dollars=self.cloud_budget_per_day,
         )
-
-
-@dataclass
-class OfflinePhaseReport:
-    """Artifacts and runtimes of the offline learning phase (Table 3)."""
-
-    kept_configurations: List[KnobConfiguration] = field(default_factory=list)
-    mean_qualities: Dict[KnobConfiguration, float] = field(default_factory=dict)
-    n_placements: int = 0
-    n_categories: int = 0
-    forecast_validation_mae: float = float("nan")
-    initial_forecast: Optional[np.ndarray] = None
-    step_runtimes_seconds: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def total_runtime_seconds(self) -> float:
-        return sum(self.step_runtimes_seconds.values())
 
 
 class Skyscraper:
@@ -175,110 +167,55 @@ class Skyscraper:
         forecast_input_days: float = 2.0,
         max_configurations: int = 8,
         train_forecaster: bool = True,
+        executor: Optional[Union[int, OfflineExecutor]] = None,
+        evaluation_cache: Optional[EvaluationCache] = None,
+        stage_cache_dir: Optional[Union[str, Path]] = None,
     ) -> OfflinePhaseReport:
         """Run the offline learning phase on historical data from ``source``.
 
         The historical recording spans ``[0, unlabeled_days)`` of the source;
         online ingestion should start after that window so train and test data
         do not overlap (as in the paper's 16-day-train / 8-day-test split).
+
+        The phase itself is a thin wrapper over
+        :class:`~repro.core.offline.OfflinePipeline`: ``executor`` (``None``,
+        a worker count, or an executor instance) parallelizes the stages'
+        independent work units, ``evaluation_cache`` shares memoized
+        evaluations across repeated fits, and ``stage_cache_dir`` persists
+        per-stage artifacts so a re-run resumes from whatever upstream stages
+        are still valid.
         """
-        report = OfflinePhaseReport()
-        rng = np.random.default_rng(self.seed)
-        segment_seconds = source.segment_seconds
-        unlabeled_end = unlabeled_days * SECONDS_PER_DAY
-
-        # -- Step 1: filter knob configurations (Appendix A.1) ---------- #
-        started = time.perf_counter()
-        labeled_segments = source.record(0.0, labeled_minutes * 60.0)
-        candidate_indices = rng.integers(
-            0, int(unlabeled_end / segment_seconds), size=n_presample_segments
-        )
-        candidates = [source.segment_at(int(index)) for index in sorted(set(candidate_indices.tolist()))]
-        cheapest, best = find_extreme_configurations(self.workload, labeled_segments[:5])
-        search_segments = sample_diverse_segments(
-            self.workload,
-            candidates,
-            n_search=n_search_segments,
-            cheapest=cheapest,
-            best=best,
-            seed=self.seed,
-        )
-        configurations, mean_quality = filter_knob_configurations(
-            self.workload, search_segments, max_configurations=max_configurations
-        )
-        report.kept_configurations = configurations
-        report.mean_qualities = dict(mean_quality)
-        report.step_runtimes_seconds["filter_knob_configurations"] = (
-            time.perf_counter() - started
-        )
-
-        # -- Step 2: profile and filter task placements (Appendix A.2) -- #
-        started = time.perf_counter()
-        self.profiles = build_profiles(
-            self.workload,
-            configurations,
+        pipeline = OfflinePipeline(
+            workload=self.workload,
+            source=source,
             cores=self.resources.cores,
             cloud=self.cloud,
-            mean_qualities=mean_quality,
+            n_categories=self.n_categories,
+            categorizer_method=self.categorizer_method,
+            forecaster_splits=self.forecaster_splits,
+            planned_interval_seconds=self.planned_interval_seconds,
+            seed=self.seed,
+            params=OfflineFitParams(
+                unlabeled_days=unlabeled_days,
+                labeled_minutes=labeled_minutes,
+                n_search_segments=n_search_segments,
+                n_presample_segments=n_presample_segments,
+                n_category_samples=n_category_samples,
+                forecast_label_period_seconds=forecast_label_period_seconds,
+                forecast_input_days=forecast_input_days,
+                max_configurations=max_configurations,
+                train_forecaster=train_forecaster,
+            ),
+            executor=executor,
+            evaluation_cache=evaluation_cache,
+            stage_cache_dir=stage_cache_dir,
         )
-        report.n_placements = sum(len(profile.placements) for profile in self.profiles)
-        report.step_runtimes_seconds["filter_task_placements"] = time.perf_counter() - started
-
-        # -- Step 3: content categories (Section 3.2) -------------------- #
-        started = time.perf_counter()
-        sample_indices = rng.integers(
-            0, int(unlabeled_end / segment_seconds), size=n_category_samples
-        )
-        quality_vectors = []
-        for index in sample_indices:
-            segment = source.segment_at(int(index))
-            quality_vectors.append(
-                [
-                    self.workload.evaluate(profile.configuration, segment).reported_quality
-                    for profile in self.profiles
-                ]
-            )
-        quality_vectors = np.array(quality_vectors)
-        self.categorizer = ContentCategorizer(
-            n_categories=self.n_categories, method=self.categorizer_method, seed=self.seed
-        )
-        self.categorizer.fit(quality_vectors)
-        report.n_categories = self.categorizer.actual_categories
-        self.attach_category_qualities(self.profiles)
-        report.step_runtimes_seconds["compute_content_categories"] = (
-            time.perf_counter() - started
-        )
-
-        # -- Step 4: forecasting model (Section 3.3, Appendix H) --------- #
-        started = time.perf_counter()
-        labels = self._label_history(source, 0.0, unlabeled_end, forecast_label_period_seconds)
-        report.step_runtimes_seconds["create_forecast_training_data"] = (
-            time.perf_counter() - started
-        )
-
-        started = time.perf_counter()
-        initial_forecast = self.categorizer.category_histogram(labels)
-        report.initial_forecast = initial_forecast
-        if train_forecaster:
-            dataset = ForecastDataset.from_labels(
-                labels=labels,
-                n_categories=self.categorizer.actual_categories,
-                label_period_seconds=forecast_label_period_seconds,
-                input_seconds=forecast_input_days * SECONDS_PER_DAY,
-                output_seconds=self.planned_interval_seconds,
-                n_splits=self.forecaster_splits,
-            )
-            train_set, validation_set = dataset.split(0.8)
-            self.forecaster = ContentForecaster(
-                n_categories=self.categorizer.actual_categories,
-                n_splits=self.forecaster_splits,
-            )
-            self.forecaster.fit(train_set)
-            report.forecast_validation_mae = self.forecaster.evaluate_mae(validation_set)
-        report.step_runtimes_seconds["train_forecast_model"] = time.perf_counter() - started
-
-        self.report = report
-        return report
+        result = pipeline.run()
+        self.profiles = result.profiles
+        self.categorizer = result.categorizer
+        self.forecaster = result.forecaster
+        self.report = result.report
+        return result.report
 
     def _label_history(
         self,
@@ -286,26 +223,29 @@ class Skyscraper:
         start_time: float,
         end_time: float,
         period_seconds: float,
+        evaluator: Optional[EvaluationCache] = None,
     ) -> List[int]:
         """Category label of the content sampled every ``period_seconds``.
 
         Appendix H: the unlabeled history is processed with the cheapest
-        configuration and classified with the switcher's single-dimension rule.
+        configuration and classified with the switcher's single-dimension
+        rule.  The evaluations run as one batch (optionally through a shared
+        evaluation cache); an empty window yields no labels.
         """
         if self.profiles is None or self.categorizer is None:
             raise NotFittedError("profiles and categorizer must exist before labeling history")
         cheapest_profile = self.profiles.cheapest()
         cheapest_index = self.profiles.index_of(cheapest_profile.configuration)
-        labels: List[int] = []
-        timestamp = start_time
-        while timestamp < end_time:
-            segment = source.segment_at(int(timestamp / source.segment_seconds))
-            outcome = self.workload.evaluate(cheapest_profile.configuration, segment)
-            labels.append(
-                self.categorizer.classify_partial(cheapest_index, outcome.reported_quality)
-            )
-            timestamp += period_seconds
-        return labels
+        qualities = label_quality_series(
+            self.workload,
+            source,
+            cheapest_profile.configuration,
+            start_time=start_time,
+            end_time=end_time,
+            period_seconds=period_seconds,
+            evaluator=evaluator,
+        )
+        return self.categorizer.classify_partial_many(cheapest_index, qualities).tolist()
 
     # ------------------------------------------------------------------ #
     # Re-provisioning
@@ -339,25 +279,21 @@ class Skyscraper:
         clone.categorizer = self.categorizer
         clone.forecaster = self.forecaster
         clone.report = self.report
-        clone.profiles = build_profiles(
+        clone.profiles = profile_configurations(
             self.workload,
             self.report.kept_configurations,
             cores=resources.cores,
             cloud=clone.cloud,
             mean_qualities=self.report.mean_qualities,
+            categorizer=self.categorizer,
         )
-        clone.attach_category_qualities(clone.profiles)
         return clone
 
     def attach_category_qualities(self, profiles: ProfileSet) -> None:
         """Fill per-category qualities of ``profiles`` from the categorizer."""
         if self.categorizer is None:
             raise NotFittedError("a fitted categorizer is required")
-        for config_index, profile in enumerate(profiles):
-            for category in range(self.categorizer.actual_categories):
-                profile.category_quality[category] = self.categorizer.category_quality(
-                    config_index, category
-                )
+        profiles.set_category_qualities(self.categorizer.centers.T)
 
     def export_artifacts(self):
         """The offline phase's state as serializable

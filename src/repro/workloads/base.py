@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.interfaces import SegmentOutcome
 from repro.core.knobs import KnobConfiguration, KnobSpace
@@ -99,6 +99,16 @@ class BaseWorkload:
         self, configuration: KnobConfiguration, segment: VideoSegment
     ) -> SegmentOutcome:
         raise NotImplementedError
+
+    def evaluate_many(
+        self, pairs: Sequence[Tuple[KnobConfiguration, VideoSegment]]
+    ) -> List[SegmentOutcome]:
+        """Batched :meth:`evaluate` used by the offline pipeline.
+
+        The default loops; workloads whose quality model vectorizes over
+        segments may override this to process the whole batch at once.
+        """
+        return [self.evaluate(configuration, segment) for configuration, segment in pairs]
 
     def quality_weight(self, segment: VideoSegment) -> float:
         """How much this segment contributes to the workload's quality metric.

@@ -145,3 +145,30 @@ def test_filter_knob_configurations_returns_pareto_spread(ev_workload):
 def test_build_profiles_requires_configurations(ev_workload):
     with pytest.raises(ConfigurationError):
         build_profiles(ev_workload, [], cores=4)
+
+
+def test_set_category_qualities_one_pass_round_trip(fitted_skyscraper, covid_workload):
+    configurations = fitted_skyscraper.report.kept_configurations[:2]
+    profiles = build_profiles(covid_workload, configurations, cores=4)
+    with pytest.raises(NotFittedError):
+        profiles.quality_matrix(2)
+    matrix = np.array([[0.1, 0.9], [0.4, 0.6]])
+    profiles.set_category_qualities(matrix)
+    assert np.array_equal(profiles.quality_matrix(2), matrix)
+    assert profiles[0].quality_for_category(1) == 0.9
+    # Asking for more categories than were attached still raises.
+    with pytest.raises(NotFittedError):
+        profiles.quality_matrix(3)
+    # Shape mismatches are rejected before any profile is touched.
+    with pytest.raises(ConfigurationError):
+        profiles.set_category_qualities(np.ones((5, 2)))
+    with pytest.raises(ConfigurationError):
+        profiles.set_category_qualities(np.ones(4))
+
+
+def test_attach_category_qualities_matches_centers(fitted_skyscraper):
+    centers = fitted_skyscraper.categorizer.centers
+    matrix = fitted_skyscraper.profiles.quality_matrix(
+        fitted_skyscraper.categorizer.actual_categories
+    )
+    assert np.array_equal(matrix, centers.T)

@@ -201,8 +201,10 @@ def test_prepare_bundle_cache_round_trip(tmp_path):
     )
     cache_dir = tmp_path / "bundles"
     first = prepare_bundle(setup, config, cache_dir=cache_dir)
-    cached_dirs = list(cache_dir.iterdir())
-    assert len(cached_dirs) == 1 and (cached_dirs[0] / "artifacts.json").exists()
+    bundle_dirs = [path for path in cache_dir.iterdir() if path.name != "stages"]
+    assert len(bundle_dirs) == 1 and (bundle_dirs[0] / "artifacts.json").exists()
+    # The per-stage cache is populated alongside the whole-bundle artifacts.
+    assert any((cache_dir / "stages").iterdir())
 
     second = prepare_bundle(setup, config, cache_dir=cache_dir)
     result_first = ExperimentRunner(first).run("skyscraper", cores=4)
@@ -230,7 +232,7 @@ def test_prepare_bundle_cache_distinguishes_stream_seeds(tmp_path):
         config,
         cache_dir=cache_dir,
     )
-    assert len(list(cache_dir.iterdir())) == 2
+    assert len([path for path in cache_dir.iterdir() if path.name != "stages"]) == 2
 
 
 # --------------------------------------------------------------------- #
