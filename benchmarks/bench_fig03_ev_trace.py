@@ -1,46 +1,27 @@
 """Figure 3: 24-hour walk-through of the EV workload.
 
-Reproduces the four panels of Figure 3 — per-configuration quality over the
-day, the workload (core-seconds of compute per second of video), buffer use,
-and cloud spend relative to the daily budget — at reduced scale.
+Thin shim over the registered figure spec ``fig03`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
+
+Run standalone::
+
+    PYTHONPATH=src:. python -m benchmarks.bench_fig03_ev_trace [--smoke]
+
+through pytest-benchmark::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig03_ev_trace.py -q -s
+
+or as part of the one-command reproduction suite::
+
+    PYTHONPATH=src python -m repro.figures run --only fig03
 """
 
-import pytest
+from benchmarks.common import benchmark_shim
 
-from benchmarks.common import bundle_for, print_header
-from repro.experiments.microbench import figure3_trace
-from repro.experiments.results import ExperimentTable
+test_fig03, main = benchmark_shim("fig03")
 
-
-@pytest.mark.benchmark(group="fig03")
-def test_fig03_ev_trace(benchmark):
-    bundle = bundle_for("ev", online_days=0.1)
-
-    trace = benchmark.pedantic(
-        figure3_trace, args=(bundle,), kwargs={"cores": 4, "bucket_seconds": 1800.0},
-        iterations=1, rounds=1,
-    )
-
-    print_header("EV workload walk-through", "Figure 3")
-    table = ExperimentTable("hourly telemetry (6 hours of the online day)")
-    for index, hour in enumerate(trace.hours):
-        row = {
-            "hour_of_day": round(hour % 24.0, 2),
-            "workload_core_s_per_s": round(trace.workload_core_seconds_per_second[index], 2),
-            "buffer_GB": round(trace.buffer_gigabytes[index], 3),
-            "cloud_spend_frac": round(trace.cloud_spend_fraction[index], 3),
-        }
-        for name, series in trace.quality_by_configuration.items():
-            row[f"quality_{name}"] = round(series[index], 3)
-        table.add_row(**row)
-    table.add_note(
-        "paper: cheap configuration only matches the expensive one at night; the workload "
-        "rises during the day, the buffer fills in the afternoon, cloud spend stays within plan"
-    )
-    table.add_note(f"knob switches over the window: {trace.switch_count} (paper: 4500 per day)")
-    print(table.render())
-
-    assert trace.switch_count > 0
-    assert max(trace.workload_core_seconds_per_second) > min(
-        trace.workload_core_seconds_per_second
-    )
+if __name__ == "__main__":
+    main()

@@ -1,55 +1,27 @@
 """Figure 4 / Table 2: cost-quality trade-off of Skyscraper vs. the baselines.
 
-For each workload (COVID, MOT, MOSEI-HIGH, MOSEI-LONG) and each machine tier,
-run the Static baseline, Chameleon*, and Skyscraper, and report the
-entity-weighted quality together with the total dollar cost (GCP rental under
-the Appendix-L ratio plus cloud-function spend).
+Thin shim over the registered figure spec ``fig04`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
+
+Run standalone::
+
+    PYTHONPATH=src:. python -m benchmarks.bench_fig04_cost_quality [--smoke]
+
+through pytest-benchmark::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig04_cost_quality.py -q -s
+
+or as part of the one-command reproduction suite::
+
+    PYTHONPATH=src python -m repro.figures run --only fig04
 """
 
-import pytest
+from benchmarks.common import benchmark_shim
 
-from benchmarks.common import QUICK_TIERS, print_header, runner_for
-from repro.experiments.runner import cost_reduction_factor
-from repro.experiments.results import ExperimentTable
+test_fig04, main = benchmark_shim("fig04")
 
-WORKLOADS = ["covid", "mot", "mosei-high", "mosei-long"]
-
-
-@pytest.mark.benchmark(group="fig04")
-@pytest.mark.parametrize("workload_name", WORKLOADS)
-def test_fig04_cost_quality(benchmark, workload_name):
-    runner = runner_for(workload_name)
-
-    points = benchmark.pedantic(
-        runner.sweep,
-        kwargs={
-            "systems": ("static", "chameleon*", "skyscraper"),
-            "tiers": QUICK_TIERS,
-            "skyscraper_tiers": QUICK_TIERS[:2],
-        },
-        iterations=1,
-        rounds=1,
-    )
-
-    print_header(f"Cost-quality trade-off: {workload_name}", "Figure 4 / Table 2")
-    table = ExperimentTable(f"{workload_name}: quality vs. total cost")
-    for point in points:
-        table.add_row(**point.as_row())
-    factor = cost_reduction_factor(points)
-    if factor is not None:
-        table.add_note(
-            f"Skyscraper is {factor:.1f}x cheaper than the best baseline at comparable quality "
-            "(paper: up to 8.7x on MOT, 3.7x over Chameleon*)"
-        )
-    table.add_note("Chameleon* rows with crashed=True correspond to buffer overflows")
-    print(table.render())
-
-    sky_points = [point for point in points if point.system == "skyscraper"]
-    static_points = [point for point in points if point.system == "static"]
-    assert sky_points and static_points
-    # Shape check: Skyscraper's cheapest point beats the static baseline on the
-    # same machine, and never crashes.
-    assert all(not point.crashed for point in sky_points)
-    cheapest_sky = min(sky_points, key=lambda point: point.total_dollars)
-    static_same_machine = [p for p in static_points if p.machine == cheapest_sky.machine][0]
-    assert cheapest_sky.quality >= static_same_machine.quality - 0.06
+if __name__ == "__main__":
+    main()

@@ -1,62 +1,27 @@
 """Figures 5, 7, 9, 11: monetary-cost ablation of buffering and cloud bursting.
 
-For every workload, each Skyscraper variant ({no buffering & no cloud, only
-buffering, only cloud, both}) is swept over machine sizes for the cloud/on-prem
-cost ratios 1:1, 1.8:1 and 5:2, and quality is reported against the normalized
-monetary cost.
+Thin shim over the registered figure spec ``fig05_11`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
+
+Run standalone::
+
+    PYTHONPATH=src:. python -m benchmarks.bench_fig05_11_ablation_cost [--smoke]
+
+through pytest-benchmark::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig05_11_ablation_cost.py -q -s
+
+or as part of the one-command reproduction suite::
+
+    PYTHONPATH=src python -m repro.figures run --only fig05_11
 """
 
-import pytest
+from benchmarks.common import benchmark_shim
 
-from benchmarks.common import bundle_for, print_header
-from repro.experiments.ablation import ablation_cost_sweep
-from repro.experiments.results import ExperimentTable
+test_fig05_11, main = benchmark_shim("fig05_11")
 
-CASES = [
-    ("covid", "Figure 5"),
-    ("mot", "Figure 7"),
-    ("mosei-high", "Figure 9"),
-    ("mosei-long", "Figure 11"),
-]
-COST_RATIOS = (1.0, 1.8, 2.5)
-TIERS = ["e2-standard-4", "e2-standard-16"]
-
-
-@pytest.mark.benchmark(group="fig05-11")
-@pytest.mark.parametrize("workload_name,figure", CASES)
-def test_ablation_cost(benchmark, workload_name, figure):
-    bundle = bundle_for(workload_name)
-
-    def sweep_all_ratios():
-        return {
-            ratio: ablation_cost_sweep(bundle, cost_ratio=ratio, tiers=TIERS)
-            for ratio in COST_RATIOS
-        }
-
-    results = benchmark.pedantic(sweep_all_ratios, iterations=1, rounds=1)
-
-    print_header(f"Buffering / cloud-bursting ablation: {workload_name}", figure)
-    for ratio, points in results.items():
-        reference = max(point.total_dollars for point in points)
-        table = ExperimentTable(f"{workload_name} at cloud:on-prem cost ratio {ratio}:1")
-        for point in points:
-            table.add_row(
-                variant=point.variant,
-                machine=point.machine,
-                quality=round(point.quality, 3),
-                normalized_cost=round(point.total_dollars / reference, 3),
-                cloud_usd=round(point.cloud_dollars, 3),
-            )
-        table.add_note(
-            "paper: buffering & cloud reaches peak quality ~1.5x cheaper than either alone; "
-            "only-cloud struggles at ratio 2.5, only-buffering struggles on long peaks"
-        )
-        print(table.render())
-
-    # Shape check at the paper's 1.8:1 ratio: the full system is at least as
-    # good as each single-resource variant on the small machine.
-    points_18 = results[1.8]
-    small = {point.variant: point for point in points_18 if point.machine == TIERS[0]}
-    assert small["buffering_and_cloud"].quality >= small["no_buffering_no_cloud"].quality - 0.02
-    assert small["buffering_and_cloud"].quality >= small["only_cloud"].quality - 0.02
-    assert small["buffering_and_cloud"].quality >= small["only_buffering"].quality - 0.02
+if __name__ == "__main__":
+    main()

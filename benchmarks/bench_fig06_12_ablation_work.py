@@ -1,55 +1,27 @@
-"""Figures 6, 8, 10, 12: work (core-seconds) ablation — Static vs Skyscraper vs Optimum.
+"""Figures 6, 8, 10, 12: work (core-seconds) ablation - Static vs Skyscraper vs Optimum.
 
-Quality against normalized work for the Static baseline, Skyscraper, and the
-ground-truth Optimum (greedy knapsack with perfect knowledge).  The paper's
-finding: Skyscraper's work reduction tracks the Optimum closely except on
-MOSEI-LONG.
+Thin shim over the registered figure spec ``fig06_12`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
+
+Run standalone::
+
+    PYTHONPATH=src:. python -m benchmarks.bench_fig06_12_ablation_work [--smoke]
+
+through pytest-benchmark::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig06_12_ablation_work.py -q -s
+
+or as part of the one-command reproduction suite::
+
+    PYTHONPATH=src python -m repro.figures run --only fig06_12
 """
 
-import pytest
+from benchmarks.common import benchmark_shim
 
-from benchmarks.common import bundle_for, print_header
-from repro.experiments.ablation import work_quality_curves
-from repro.experiments.results import ExperimentTable, normalize_series
+test_fig06_12, main = benchmark_shim("fig06_12")
 
-CASES = [
-    ("covid", "Figure 6"),
-    ("mot", "Figure 8"),
-    ("mosei-high", "Figure 10"),
-    ("mosei-long", "Figure 12"),
-]
-TIERS = ["e2-standard-4", "e2-standard-16"]
-
-
-@pytest.mark.benchmark(group="fig06-12")
-@pytest.mark.parametrize("workload_name,figure", CASES)
-def test_ablation_work(benchmark, workload_name, figure):
-    bundle = bundle_for(workload_name)
-
-    curves = benchmark.pedantic(
-        work_quality_curves,
-        args=(bundle,),
-        kwargs={"tiers": TIERS, "max_optimum_segments": 300,
-                "budgets_fraction_of_max": (0.05, 0.15, 0.4, 1.0)},
-        iterations=1,
-        rounds=1,
-    )
-
-    print_header(f"Work-quality ablation: {workload_name}", figure)
-    reference = max(max(curve.work_core_seconds) for curve in curves)
-    table = ExperimentTable(f"{workload_name}: quality vs. normalized work (core-s)")
-    for curve in curves:
-        normalized = normalize_series(curve.work_core_seconds, reference=reference)
-        for work, quality in zip(normalized, curve.quality):
-            table.add_row(system=curve.system, normalized_work=round(work, 3),
-                          quality=round(quality, 3))
-    table.add_note("paper: Skyscraper performs close to the ground-truth Optimum")
-    print(table.render())
-
-    by_name = {curve.system: curve for curve in curves}
-    # Shape checks: at comparable work Skyscraper is at least as good as Static,
-    # and the Optimum is an upper bound for everything.
-    assert max(by_name["skyscraper"].quality) <= max(by_name["optimum"].quality) + 0.05
-    assert max(by_name["skyscraper"].quality) >= max(by_name["static"].quality) - 0.05
-    # At the smallest (equal-work) provisioning Skyscraper matches or beats Static.
-    assert by_name["skyscraper"].quality[0] >= by_name["static"].quality[0] - 0.05
+if __name__ == "__main__":
+    main()

@@ -1,66 +1,27 @@
 """Figure 13: decision overheads of the knob switcher and the knob planner.
 
-The switcher must stay below a millisecond even for thousands of placements;
-the planner (forecast inference + LP solve) must stay below a second even for
-a hundred-plus content categories.
+Thin shim over the registered figure spec ``fig13`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
+
+Run standalone::
+
+    PYTHONPATH=src:. python -m benchmarks.bench_fig13_overheads [--smoke]
+
+through pytest-benchmark::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig13_overheads.py -q -s
+
+or as part of the one-command reproduction suite::
+
+    PYTHONPATH=src python -m repro.figures run --only fig13
 """
 
-import pytest
+from benchmarks.common import benchmark_shim
 
-from benchmarks.common import print_header
-from repro.experiments.microbench import planner_overhead_seconds, switcher_overhead_seconds
-from repro.experiments.results import ExperimentTable
+test_fig13, main = benchmark_shim("fig13")
 
-
-@pytest.mark.benchmark(group="fig13")
-def test_fig13_switcher_overhead(benchmark):
-    def sweep():
-        rows = []
-        for placements in (100, 1_000, 5_000):
-            average = switcher_overhead_seconds(placements, repetitions=100)
-            worst = switcher_overhead_seconds(placements, repetitions=20, worst_case=True)
-            rows.append((placements, average, worst))
-        return rows
-
-    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
-
-    print_header("Knob switcher decision overhead", "Figure 13 (left)")
-    table = ExperimentTable("switcher runtime vs. number of placements")
-    for placements, average, worst in rows:
-        table.add_row(
-            placements=placements,
-            avg_ms=round(average * 1e3, 4),
-            worst_case_ms=round(worst * 1e3, 4),
-        )
-    table.add_note("paper: average below 1 ms, worst case linear in the number of placements")
-    print(table.render())
-
-    # The average-case switcher must stay in the sub-millisecond regime.
-    assert rows[0][1] < 1e-3
-    assert rows[-1][2] >= rows[0][2] * 0.5  # worst case grows (roughly) with placements
-
-
-@pytest.mark.benchmark(group="fig13")
-def test_fig13_planner_overhead(benchmark):
-    def sweep():
-        rows = []
-        for n_categories in (5, 35, 65):
-            for n_configurations in (3, 9, 15):
-                seconds = planner_overhead_seconds(n_categories, n_configurations)
-                rows.append((n_categories, n_configurations, seconds))
-        return rows
-
-    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
-
-    print_header("Knob planner overhead", "Figure 13 (right)")
-    table = ExperimentTable("planner runtime vs. categories x configurations")
-    for n_categories, n_configurations, seconds in rows:
-        table.add_row(
-            content_categories=n_categories,
-            knob_configurations=n_configurations,
-            runtime_s=round(seconds, 4),
-        )
-    table.add_note("paper: below one second for all realistic problem sizes")
-    print(table.render())
-
-    assert all(seconds < 1.5 for _, _, seconds in rows)
+if __name__ == "__main__":
+    main()

@@ -1,50 +1,27 @@
 """Figure 14 / Table 5: forecast horizon (planned-interval length) study.
 
-Trains the forecasting model for several planned-interval lengths and reports
-the mean absolute error of the content-distribution forecast.  The paper finds
-a sweet spot at 1-4 days and degradation at 8 days; at the benchmark's reduced
-time scale the same U-shape appears at proportionally shorter horizons.
+Thin shim over the registered figure spec ``fig14`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
+
+Run standalone::
+
+    PYTHONPATH=src:. python -m benchmarks.bench_fig14_planned_interval [--smoke]
+
+through pytest-benchmark::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig14_planned_interval.py -q -s
+
+or as part of the one-command reproduction suite::
+
+    PYTHONPATH=src python -m repro.figures run --only fig14
 """
 
-import pytest
+from benchmarks.common import benchmark_shim
 
-from benchmarks.common import bundle_for, print_header
-from repro.experiments.microbench import category_label_series, forecaster_horizon_mae
-from repro.experiments.results import ExperimentTable
+test_fig14, main = benchmark_shim("fig14")
 
-LABEL_PERIOD = 180.0
-HORIZONS_DAYS = (0.02, 0.05, 0.1, 0.25)
-
-
-@pytest.mark.benchmark(group="fig14")
-@pytest.mark.parametrize("workload_name", ["covid", "mot"])
-def test_fig14_planned_interval(benchmark, workload_name):
-    bundle = bundle_for(workload_name)
-
-    def run():
-        labels = category_label_series(bundle, 0.0, 0.5, period_seconds=LABEL_PERIOD)
-        return forecaster_horizon_mae(
-            labels,
-            n_categories=bundle.skyscraper.categorizer.actual_categories,
-            label_period_seconds=LABEL_PERIOD,
-            horizons_days=HORIZONS_DAYS,
-            input_days=0.1,
-            n_splits=4,
-        )
-
-    maes = benchmark.pedantic(run, iterations=1, rounds=1)
-
-    print_header(f"Forecast horizon study: {workload_name}", "Figure 14 / Table 5")
-    table = ExperimentTable(f"{workload_name}: forecast MAE vs. planned-interval length")
-    for horizon, mae in maes.items():
-        table.add_row(planned_interval_days=horizon, forecast_mae=round(mae, 4))
-    table.add_note(
-        "paper (Table 5): MAE 0.04-0.13 for 1-4 day horizons, clearly worse at 8 days; "
-        "horizons here are scaled down with the shorter history"
-    )
-    print(table.render())
-
-    values = list(maes.values())
-    assert all(0.0 <= value <= 1.0 for value in values)
-    # Forecasts must carry signal: clearly better than the worst-case MAE of 0.5.
-    assert min(values) < 0.35
+if __name__ == "__main__":
+    main()

@@ -1,41 +1,27 @@
 """Figure 15: knob-switcher content misclassification (Type-A vs Type-B errors).
 
-The switcher classifies content from a single quality dimension (Type-A error
-source) observed on the *previous* couple of seconds (Type-B error source).
-The paper finds a few percent of misclassifications, almost entirely Type-B.
+Thin shim over the registered figure spec ``fig15`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
+
+Run standalone::
+
+    PYTHONPATH=src:. python -m benchmarks.bench_fig15_switcher_errors [--smoke]
+
+through pytest-benchmark::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig15_switcher_errors.py -q -s
+
+or as part of the one-command reproduction suite::
+
+    PYTHONPATH=src python -m repro.figures run --only fig15
 """
 
-import pytest
+from benchmarks.common import benchmark_shim
 
-from benchmarks.common import bundle_for, print_header
-from repro.experiments.microbench import switcher_error_analysis
-from repro.experiments.results import ExperimentTable
+test_fig15, main = benchmark_shim("fig15")
 
-
-@pytest.mark.benchmark(group="fig15")
-@pytest.mark.parametrize("workload_name", ["covid", "mot"])
-def test_fig15_switcher_errors(benchmark, workload_name):
-    bundle = bundle_for(workload_name)
-
-    report = benchmark.pedantic(
-        switcher_error_analysis, args=(bundle,), kwargs={"n_samples": 250}, iterations=1, rounds=1
-    )
-
-    print_header(f"Knob switcher classification errors: {workload_name}", "Figure 15")
-    table = ExperimentTable(f"{workload_name}: misclassification breakdown")
-    table.add_row(
-        samples=report.samples,
-        misclassification_rate=round(report.misclassification_rate, 3),
-        type_a_rate=round(report.type_a_rate, 3),
-        type_b_rate=round(report.type_b_rate, 3),
-    )
-    table.add_note(
-        "paper: 2.1% (COVID) / 6.6% (MOT) total misclassifications; removing Type-B (timing) "
-        "errors leaves only 0.5% / 3.7%, which barely affect end-to-end quality"
-    )
-    print(table.render())
-
-    # Shape: misclassifications exist but are a clear minority, and the
-    # timing-free variant has no more errors than the standard one.
-    assert report.misclassification_rate < 0.5
-    assert report.type_a_rate <= report.misclassification_rate + 0.02
+if __name__ == "__main__":
+    main()

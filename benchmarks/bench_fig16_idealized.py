@@ -1,49 +1,27 @@
-"""Figure 16 (Appendix B.1): the idealized per-slot forecasting design vs. the
-practical Skyscraper design, Static, and the Optimum."""
+"""Figure 16 (Appendix B.1): idealized per-slot forecasting vs. the practical design.
 
-import pytest
+Thin shim over the registered figure spec ``fig16`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
 
-from benchmarks.common import bundle_for, print_header, runner_for
-from repro.baselines.idealized import idealized_assignment
-from repro.baselines.optimum import optimum_assignment
-from repro.experiments.results import ExperimentTable
+Run standalone::
 
+    PYTHONPATH=src:. python -m benchmarks.bench_fig16_idealized [--smoke]
 
-@pytest.mark.benchmark(group="fig16")
-def test_fig16_idealized_vs_practical(benchmark):
-    bundle = bundle_for("covid")
-    runner = runner_for("covid")
-    source = bundle.setup.source
-    workload = bundle.setup.workload
-    profiles = bundle.skyscraper.profiles
+through pytest-benchmark::
 
-    history = [source.segment_at(index) for index in range(0, 18_000, 60)]
-    start_index = int(bundle.config.online_start / source.segment_seconds)
-    end_index = int(bundle.config.online_end / source.segment_seconds)
-    future = [source.segment_at(index) for index in range(start_index, end_index, 4)]
-    cores = 4
-    budget = cores * source.segment_seconds * len(future)
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig16_idealized.py -q -s
 
-    def run_all():
-        idealized = idealized_assignment(workload, profiles, history, future, budget)
-        optimum = optimum_assignment(workload, profiles, future, budget)
-        practical = runner.run("skyscraper", cores=cores)
-        static = runner.run("static", cores=cores)
-        return idealized, optimum, practical, static
+or as part of the one-command reproduction suite::
 
-    idealized, optimum, practical, static = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    PYTHONPATH=src python -m repro.figures run --only fig16
+"""
 
-    print_header("Idealized vs. practical design", "Figure 16 (Appendix B.1)")
-    table = ExperimentTable("quality at a 4-core compute budget")
-    table.add_row(system="static", quality=round(static.weighted_quality, 3))
-    table.add_row(system="idealized (per-slot forecast)", quality=round(idealized.mean_quality, 3))
-    table.add_row(system="practical (Skyscraper)", quality=round(practical.weighted_quality, 3))
-    table.add_row(system="optimum (ground truth)", quality=round(optimum.mean_quality, 3))
-    table.add_note(
-        "paper: the practical design almost matches the optimum; the idealized per-slot design "
-        "loses quality because per-second forecasts hours ahead are inaccurate"
-    )
-    print(table.render())
+from benchmarks.common import benchmark_shim
 
-    assert optimum.mean_quality >= idealized.mean_quality - 1e-6
-    assert practical.weighted_quality >= static.weighted_quality - 0.05
+test_fig16, main = benchmark_shim("fig16")
+
+if __name__ == "__main__":
+    main()

@@ -1,55 +1,27 @@
-"""Figure 17 (Appendix B.2): KMeans vs. Gaussian-mixture content categories."""
+"""Figure 17 (Appendix B.2): KMeans vs. Gaussian-mixture content categories.
 
-import numpy as np
-import pytest
+Thin shim over the registered figure spec ``fig17`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
 
-from benchmarks.common import bundle_for, print_header
-from repro.core.categorizer import ContentCategorizer
-from repro.experiments.results import ExperimentTable
+Run standalone::
 
+    PYTHONPATH=src:. python -m benchmarks.bench_fig17_clustering [--smoke]
 
-def _quality_vectors(bundle, n_samples=200):
-    workload = bundle.setup.workload
-    source = bundle.setup.source
-    profiles = bundle.skyscraper.profiles
-    rng = np.random.default_rng(0)
-    indices = rng.integers(0, int(0.5 * 86_400.0 / source.segment_seconds), size=n_samples)
-    vectors = []
-    for index in indices:
-        segment = source.segment_at(int(index))
-        vectors.append(
-            [workload.evaluate(p.configuration, segment).reported_quality for p in profiles]
-        )
-    return np.array(vectors)
+through pytest-benchmark::
 
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig17_clustering.py -q -s
 
-@pytest.mark.benchmark(group="fig17")
-def test_fig17_kmeans_vs_gmm(benchmark):
-    bundle = bundle_for("covid")
-    vectors = _quality_vectors(bundle)
+or as part of the one-command reproduction suite::
 
-    def fit_both():
-        kmeans = ContentCategorizer(n_categories=4, method="kmeans", seed=0).fit(vectors)
-        gmm = ContentCategorizer(n_categories=4, method="gmm", seed=0).fit(vectors)
-        return kmeans, gmm
+    PYTHONPATH=src python -m repro.figures run --only fig17
+"""
 
-    kmeans, gmm = benchmark.pedantic(fit_both, iterations=1, rounds=1)
+from benchmarks.common import benchmark_shim
 
-    # Agreement between the two categorizations (after best-effort matching by
-    # cluster mean quality, which both implementations already order by).
-    kmeans_labels = kmeans.classify_many(vectors)
-    gmm_labels = gmm.classify_many(vectors)
-    agreement = float(np.mean(kmeans_labels == gmm_labels))
+test_fig17, main = benchmark_shim("fig17")
 
-    print_header("Clustering algorithm for content categories", "Figure 17 (Appendix B.2)")
-    table = ExperimentTable("KMeans vs. Gaussian mixture model")
-    table.add_row(method="kmeans", categories=kmeans.actual_categories,
-                  mean_center_quality=round(float(kmeans.centers.mean()), 3))
-    table.add_row(method="gmm", categories=gmm.actual_categories,
-                  mean_center_quality=round(float(gmm.centers.mean()), 3))
-    table.add_note(f"label agreement between the two methods: {agreement:.2f}")
-    table.add_note("paper: no end-to-end difference; KMeans is preferred for simplicity")
-    print(table.render())
-
-    assert agreement > 0.5
-    assert kmeans.centers.shape == gmm.centers.shape
+if __name__ == "__main__":
+    main()

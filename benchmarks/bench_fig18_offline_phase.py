@@ -1,85 +1,27 @@
 """Figure 18 / Table 3: offline-phase runtimes and forecaster training-set size.
 
-Table 3 reports how long each offline step takes; Figure 18 shows the
-forecaster's MAE as a function of the number of training samples.
+Thin shim over the registered figure spec ``fig18`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
+
+Run standalone::
+
+    PYTHONPATH=src:. python -m benchmarks.bench_fig18_offline_phase [--smoke]
+
+through pytest-benchmark::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig18_offline_phase.py -q -s
+
+or as part of the one-command reproduction suite::
+
+    PYTHONPATH=src python -m repro.figures run --only fig18
 """
 
-import pytest
+from benchmarks.common import benchmark_shim
 
-from benchmarks.common import bundle_for, print_header, quick_config
-from repro.core.skyscraper import Skyscraper, SkyscraperResources
-from repro.experiments.microbench import category_label_series, forecaster_training_size_mae
-from repro.experiments.results import ExperimentTable
-from repro.workloads.covid import make_covid_setup
+test_fig18, main = benchmark_shim("fig18")
 
-
-@pytest.mark.benchmark(group="fig18")
-def test_table3_offline_phase_runtimes(benchmark):
-    setup = make_covid_setup(history_days=0.5, online_days=0.05)
-
-    def fit():
-        sky = Skyscraper(
-            setup.workload,
-            SkyscraperResources(cores=8, buffer_bytes=2_000_000_000, cloud_budget_per_day=2.0),
-            n_categories=4,
-            planned_interval_seconds=0.1 * 86_400.0,
-            forecaster_splits=4,
-            seed=0,
-        )
-        report = sky.fit(
-            setup.source,
-            unlabeled_days=0.5,
-            n_presample_segments=120,
-            n_category_samples=150,
-            forecast_label_period_seconds=120.0,
-            forecast_input_days=0.1,
-            max_configurations=6,
-            train_forecaster=True,
-        )
-        return report
-
-    report = benchmark.pedantic(fit, iterations=1, rounds=1)
-
-    print_header("Offline phase runtimes", "Table 3 / Appendix E")
-    table = ExperimentTable("per-step runtime of the offline learning phase")
-    for step, seconds in report.step_runtimes_seconds.items():
-        table.add_row(step=step, runtime_s=round(seconds, 2))
-    table.add_row(step="TOTAL", runtime_s=round(report.total_runtime_seconds, 2))
-    table.add_note(
-        "paper (Table 3): creating the forecaster's training data dominates (83% of 1.6 h); "
-        "here the same step dominates at the reduced scale"
-    )
-    table.add_note(f"forecaster validation MAE: {report.forecast_validation_mae:.3f}")
-    print(table.render())
-
-    assert report.total_runtime_seconds > 0
-    assert "create_forecast_training_data" in report.step_runtimes_seconds
-
-
-@pytest.mark.benchmark(group="fig18")
-def test_fig18_forecaster_training_size(benchmark):
-    bundle = bundle_for("covid")
-
-    def run():
-        labels = category_label_series(bundle, 0.0, 0.5, period_seconds=120.0)
-        return forecaster_training_size_mae(
-            labels,
-            n_categories=bundle.skyscraper.categorizer.actual_categories,
-            label_period_seconds=120.0,
-            sample_counts=(20, 50, 100, 200),
-            input_days=0.15,
-            output_days=0.1,
-            n_splits=4,
-        )
-
-    maes = benchmark.pedantic(run, iterations=1, rounds=1)
-
-    print_header("Forecaster MAE vs. training-set size", "Figure 18")
-    table = ExperimentTable("forecast MAE for growing training sets")
-    for count, mae in sorted(maes.items()):
-        table.add_row(training_samples=count, forecast_mae=round(mae, 4))
-    table.add_note("paper: the MAE flattens well before the full training set is used")
-    print(table.render())
-
-    counts = sorted(maes)
-    assert maes[counts[-1]] <= maes[counts[0]] + 0.1
+if __name__ == "__main__":
+    main()

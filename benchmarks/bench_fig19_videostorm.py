@@ -1,49 +1,27 @@
 """Figure 19 (Appendix G): comparison against VideoStorm.
 
-VideoStorm adapts to the query load, not to the content; with a static V-ETL
-job it fills the buffer early and then behaves like the static baseline.
+Thin shim over the registered figure spec ``fig19`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
+
+Run standalone::
+
+    PYTHONPATH=src:. python -m benchmarks.bench_fig19_videostorm [--smoke]
+
+through pytest-benchmark::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig19_videostorm.py -q -s
+
+or as part of the one-command reproduction suite::
+
+    PYTHONPATH=src python -m repro.figures run --only fig19
 """
 
-import pytest
+from benchmarks.common import benchmark_shim
 
-from benchmarks.common import print_header, runner_for
-from repro.experiments.results import ExperimentTable
+test_fig19, main = benchmark_shim("fig19")
 
-WORKLOADS = ["covid", "mot", "mosei-high", "mosei-long"]
-
-
-@pytest.mark.benchmark(group="fig19")
-@pytest.mark.parametrize("workload_name", WORKLOADS)
-def test_fig19_videostorm(benchmark, workload_name):
-    runner = runner_for(workload_name)
-    cores = 4
-
-    def run_all():
-        return (
-            runner.run("static", cores=cores),
-            runner.run("videostorm", cores=cores),
-            runner.run("skyscraper", cores=cores),
-        )
-
-    static, videostorm, skyscraper = benchmark.pedantic(run_all, iterations=1, rounds=1)
-
-    print_header(f"VideoStorm comparison: {workload_name}", "Figure 19 (Appendix G)")
-    table = ExperimentTable(f"{workload_name} on e2-standard-4")
-    for name, result in (("static", static), ("videostorm", videostorm), ("skyscraper", skyscraper)):
-        table.add_row(
-            system=name,
-            quality=round(result.weighted_quality, 3),
-            peak_buffer_MB=round(result.peak_buffer_bytes / 1e6, 1),
-            distinct_configs=len(result.configuration_usage),
-            overflowed=result.overflowed,
-        )
-    table.add_note(
-        "paper: VideoStorm closely matches the static baseline because the query load never "
-        "changes; only content-adaptive Skyscraper improves the trade-off"
-    )
-    print(table.render())
-
-    assert not videostorm.overflowed
-    assert not skyscraper.overflowed
-    # VideoStorm is content agnostic: it tracks the static baseline closely.
-    assert abs(videostorm.weighted_quality - static.weighted_quality) < 0.2
+if __name__ == "__main__":
+    main()

@@ -1,53 +1,27 @@
-"""Figure 20 / Table 4 (Appendix I.1): sensitivity to the number of content categories."""
+"""Figure 20 / Table 4 (Appendix I.1): sensitivity to the number of content categories.
 
-import pytest
+Thin shim over the registered figure spec ``fig20`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
 
-from benchmarks.common import print_header, quick_config
-from repro.experiments.runner import ExperimentRunner, prepare_bundle
-from repro.experiments.microbench import switcher_error_analysis
-from repro.experiments.results import ExperimentTable
-from repro.workloads.covid import make_covid_setup
+Run standalone::
 
-CATEGORY_COUNTS = (1, 2, 4, 8)
+    PYTHONPATH=src:. python -m benchmarks.bench_fig20_num_categories [--smoke]
 
+through pytest-benchmark::
 
-@pytest.mark.benchmark(group="fig20")
-def test_fig20_number_of_content_categories(benchmark):
-    def sweep():
-        rows = []
-        for n_categories in CATEGORY_COUNTS:
-            config = quick_config()
-            config.n_categories = n_categories
-            setup = make_covid_setup(history_days=config.history_days,
-                                     online_days=config.online_days)
-            bundle = prepare_bundle(setup, config)
-            result = ExperimentRunner(bundle).run("skyscraper", cores=4)
-            errors = switcher_error_analysis(bundle, n_samples=120)
-            rows.append(
-                {
-                    "categories": n_categories,
-                    "quality": round(result.weighted_quality, 3),
-                    "switcher_accuracy": round(1.0 - errors.misclassification_rate, 3),
-                }
-            )
-        return rows
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig20_num_categories.py -q -s
 
-    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+or as part of the one-command reproduction suite::
 
-    print_header("Sensitivity to the number of content categories", "Figure 20 / Table 4")
-    table = ExperimentTable("COVID: end-to-end quality and switcher accuracy vs. categories")
-    for row in rows:
-        table.add_row(**row)
-    table.add_note(
-        "paper: insensitive once >= 3 categories are used; switcher accuracy decreases slightly "
-        "with more categories (Table 4: 100% -> 95.9%)"
-    )
-    print(table.render())
+    PYTHONPATH=src python -m repro.figures run --only fig20
+"""
 
-    qualities = {row["categories"]: row["quality"] for row in rows}
-    accuracies = {row["categories"]: row["switcher_accuracy"] for row in rows}
-    # >= 3 categories should all land in a narrow quality band.
-    multi = [qualities[count] for count in CATEGORY_COUNTS if count >= 3]
-    assert max(multi) - min(multi) < 0.1
-    # Accuracy with one category is trivially perfect and decreases with more.
-    assert accuracies[1] >= accuracies[8] - 1e-9
+from benchmarks.common import benchmark_shim
+
+test_fig20, main = benchmark_shim("fig20")
+
+if __name__ == "__main__":
+    main()

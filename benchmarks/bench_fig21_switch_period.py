@@ -1,49 +1,27 @@
-"""Figure 21 (Appendix I.2): sensitivity to the knob switching frequency."""
+"""Figure 21 (Appendix I.2): sensitivity to the knob switching frequency.
 
-import pytest
+Thin shim over the registered figure spec ``fig21`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
 
-from benchmarks.common import bundle_for, print_header
-from repro.experiments.runner import ExperimentRunner
-from repro.experiments.results import ExperimentTable
+Run standalone::
 
-SWITCH_PERIODS = (2.0, 4.0, 8.0, 16.0)
+    PYTHONPATH=src:. python -m benchmarks.bench_fig21_switch_period [--smoke]
 
+through pytest-benchmark::
 
-@pytest.mark.benchmark(group="fig21")
-def test_fig21_switch_period(benchmark):
-    bundle = bundle_for("covid")
-    runner = ExperimentRunner(bundle)
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig21_switch_period.py -q -s
 
-    def sweep():
-        rows = []
-        original = bundle.config.switch_period_seconds
-        try:
-            for period in SWITCH_PERIODS:
-                bundle.config.switch_period_seconds = period
-                bundle.skyscraper.switch_period_seconds = period
-                result = runner.run("skyscraper", cores=4)
-                rows.append(
-                    {
-                        "switch_period_s": period,
-                        "quality": round(result.weighted_quality, 3),
-                        "switches": result.switch_count,
-                    }
-                )
-        finally:
-            bundle.config.switch_period_seconds = original
-            bundle.skyscraper.switch_period_seconds = original
-        return rows
+or as part of the one-command reproduction suite::
 
-    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    PYTHONPATH=src python -m repro.figures run --only fig21
+"""
 
-    print_header("Sensitivity to the knob switching period", "Figure 21")
-    table = ExperimentTable("COVID: quality vs. switching period")
-    for row in rows:
-        table.add_row(**row)
-    table.add_note("paper: all periods between 2 s and 8 s perform well; the default is 4 s")
-    print(table.render())
+from benchmarks.common import benchmark_shim
 
-    qualities = [row["quality"] for row in rows]
-    switches = [row["switches"] for row in rows]
-    assert max(qualities[:3]) - min(qualities[:3]) < 0.1
-    assert switches[0] >= switches[-1]
+test_fig21, main = benchmark_shim("fig21")
+
+if __name__ == "__main__":
+    main()

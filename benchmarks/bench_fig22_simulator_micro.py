@@ -1,52 +1,27 @@
-"""Figure 22: accuracy of the Appendix-M simulator on micro DAGs.
+"""Figure 22: accuracy of the Appendix-M simulator on micro DAGs and cloud calls.
 
-Left plot: 60-task YOLO / KCF / combined DAGs on 2-16 cores.  Right plot: a
-stream of cloud invocations.  The paper reports estimation errors below ~9%,
-with the simulator only ever overestimating.
+Thin shim over the registered figure spec ``fig22`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
+
+Run standalone::
+
+    PYTHONPATH=src:. python -m benchmarks.bench_fig22_simulator_micro [--smoke]
+
+through pytest-benchmark::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig22_simulator_micro.py -q -s
+
+or as part of the one-command reproduction suite::
+
+    PYTHONPATH=src python -m repro.figures run --only fig22
 """
 
-import pytest
+from benchmarks.common import benchmark_shim
 
-from benchmarks.common import print_header
-from repro.experiments.microbench import simulator_cloud_benchmark, simulator_microbenchmark
-from repro.experiments.results import ExperimentTable
+test_fig22, main = benchmark_shim("fig22")
 
-
-@pytest.mark.benchmark(group="fig22")
-def test_fig22_on_prem_micro_dags(benchmark):
-    rows = benchmark.pedantic(simulator_microbenchmark, iterations=1, rounds=1)
-
-    print_header("Simulator accuracy on on-premise micro DAGs", "Figure 22 (left)")
-    table = ExperimentTable("YOLO / KCF / combined DAGs on 2-16 cores")
-    for row in rows:
-        table.add_row(
-            dag=row["dag"],
-            cores=row["cores"],
-            simulated_s=round(row["simulated_s"], 3),
-            measured_s=round(row["measured_s"], 3),
-            error_pct=round(100 * row["error"], 2),
-        )
-    table.add_note("paper: all errors below ~9%, runtimes only overestimated")
-    print(table.render())
-
-    errors = [row["error"] for row in rows]
-    assert max(errors) < 0.12
-    assert min(errors) > -0.03
-
-
-@pytest.mark.benchmark(group="fig22")
-def test_fig22_cloud_round_trips(benchmark):
-    result = benchmark.pedantic(simulator_cloud_benchmark, iterations=1, rounds=1)
-
-    print_header("Simulator accuracy on cloud invocations", "Figure 22 (right)")
-    table = ExperimentTable("a stream of cloud YOLO invocations")
-    table.add_row(
-        invocations=int(result["invocations"]),
-        simulated_s=round(result["simulated_s"], 3),
-        measured_s=round(result["measured_s"], 3),
-        error_pct=round(100 * result["error"], 2),
-    )
-    table.add_note("paper: rare latency spikes exist but are insignificant for provisioning")
-    print(table.render())
-
-    assert abs(result["error"]) < 0.15
+if __name__ == "__main__":
+    main()

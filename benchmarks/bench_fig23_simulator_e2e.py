@@ -1,31 +1,27 @@
-"""Figure 23: simulator accuracy on actual Skyscraper task graphs (COVID, MOT)."""
+"""Figure 23: simulator accuracy on actual Skyscraper task graphs (COVID, MOT).
 
-import pytest
+Thin shim over the registered figure spec ``fig23`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
 
-from benchmarks.common import bundle_for, print_header
-from repro.experiments.microbench import simulator_end_to_end_accuracy
-from repro.experiments.results import ExperimentTable
+Run standalone::
 
+    PYTHONPATH=src:. python -m benchmarks.bench_fig23_simulator_e2e [--smoke]
 
-@pytest.mark.benchmark(group="fig23")
-@pytest.mark.parametrize("workload_name", ["covid", "mot"])
-def test_fig23_simulator_end_to_end(benchmark, workload_name):
-    bundle = bundle_for(workload_name)
+through pytest-benchmark::
 
-    stats = benchmark.pedantic(
-        simulator_end_to_end_accuracy, args=(bundle,), kwargs={"cores": 8}, iterations=1, rounds=1
-    )
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fig23_simulator_e2e.py -q -s
 
-    print_header(f"Simulator accuracy on Skyscraper executions: {workload_name}", "Figure 23")
-    table = ExperimentTable(f"{workload_name}: makespan estimation error over real task graphs")
-    table.add_row(
-        samples=int(stats["samples"]),
-        mean_error_pct=round(100 * stats["mean_error"], 2),
-        max_error_pct=round(100 * stats["max_error"], 2),
-        min_error_pct=round(100 * stats["min_error"], 2),
-    )
-    table.add_note("paper: errors stay below ~9% and grow slightly during rush hours")
-    print(table.render())
+or as part of the one-command reproduction suite::
 
-    assert stats["mean_error"] < 0.12
-    assert stats["min_error"] > -0.05
+    PYTHONPATH=src python -m repro.figures run --only fig23
+"""
+
+from benchmarks.common import benchmark_shim
+
+test_fig23, main = benchmark_shim("fig23")
+
+if __name__ == "__main__":
+    main()

@@ -1,145 +1,27 @@
 """Fleet scaling benchmark: streams x schedulers on one shared cluster.
 
-Scales a camera fleet (phase-shifted replicas of the EV stream) across the
-three built-in schedulers and reports drop rate, lag, quality and simulation
-wall time per cell.  The fleet shares one cluster and one daily cloud budget,
-so growing the fleet without growing the hardware stresses exactly the
-contention the schedulers exist to manage.
+Thin shim over the registered figure spec ``fleet_scaling`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
 
-Run standalone (emits a machine-readable ``BENCH {...}`` json line)::
+Run standalone::
 
-    PYTHONPATH=src python -m benchmarks.bench_fleet_scaling
-    PYTHONPATH=src python -m benchmarks.bench_fleet_scaling \
-        --streams 4 --schedulers fifo --online-days 0.005   # CI smoke
+    PYTHONPATH=src:. python -m benchmarks.bench_fleet_scaling [--smoke]
 
-or through pytest-benchmark like the figure benchmarks.
+through pytest-benchmark::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_fleet_scaling.py -q -s
+
+or as part of the one-command reproduction suite::
+
+    PYTHONPATH=src python -m repro.figures run --only fleet_scaling
 """
 
-from __future__ import annotations
+from benchmarks.common import benchmark_shim
 
-import argparse
-import json
-from typing import List, Optional, Sequence
-
-import pytest
-
-from benchmarks.common import bundle_for, print_header
-from repro.experiments.results import ExperimentTable, FleetPoint
-from repro.experiments.runner import ExperimentRunner
-
-#: Buffer small enough that an over-committed fleet actually overflows, so
-#: the schedulers' drop/lag trade-offs become visible.
-FLEET_BUFFER_BYTES = 256_000_000
-
-SCHEDULERS = ("fifo", "round-robin", "lag-aware")
-
-
-def run_fleet_scaling(
-    n_streams_list: Sequence[int] = (1, 8, 32),
-    schedulers: Sequence[str] = SCHEDULERS,
-    system: str = "static",
-    cores: int = 8,
-    online_days: float = 0.02,
-    buffer_bytes: int = FLEET_BUFFER_BYTES,
-) -> List[FleetPoint]:
-    """One point per (streams, scheduler) cell over a small online window."""
-    runner = ExperimentRunner(bundle_for("ev", online_days=online_days))
-    return runner.sweep_fleet(
-        system,
-        n_streams_list=n_streams_list,
-        schedulers=schedulers,
-        cores=cores,
-        buffer_bytes=buffer_bytes,
-    )
-
-
-def emit(points: Sequence[FleetPoint], title: str = "Fleet scaling") -> None:
-    """Print the human-readable table and the machine-readable BENCH line."""
-    print_header(title, "fleet runtime (beyond the paper): streams x schedulers")
-    table = ExperimentTable("fleet scaling: drop rate, lag and quality per scheduler")
-    for point in points:
-        table.add_row(**point.as_row())
-    table.add_note("all cells share one cluster and one daily cloud budget")
-    print(table.render())
-    print(
-        "BENCH "
-        + json.dumps(
-            {
-                "benchmark": "fleet_scaling",
-                "rows": [point.as_row() for point in points],
-            },
-            sort_keys=True,
-        )
-    )
-
-
-# --------------------------------------------------------------------- #
-# pytest-benchmark entry points
-# --------------------------------------------------------------------- #
-@pytest.mark.benchmark(group="fleet")
-@pytest.mark.parametrize("scheduler", SCHEDULERS)
-def test_fleet_scaling_scheduler(benchmark, scheduler):
-    points = benchmark.pedantic(
-        run_fleet_scaling,
-        kwargs={"n_streams_list": (8,), "schedulers": (scheduler,)},
-        iterations=1,
-        rounds=1,
-    )
-    emit(points, title=f"Fleet scaling under the {scheduler} scheduler")
-    (point,) = points
-    # 0.02 days of 2-second segments, ingested by all 8 cameras.
-    assert point.segments_total == 8 * int(0.02 * 86_400.0 / 2.0)
-    assert 0.0 <= point.weighted_quality <= 1.0
-
-
-@pytest.mark.benchmark(group="fleet")
-def test_fleet_scaling_32_streams(benchmark):
-    """The acceptance scenario: a 32-stream fleet under every scheduler."""
-    points = benchmark.pedantic(
-        run_fleet_scaling,
-        kwargs={"n_streams_list": (32,), "online_days": 0.005},
-        iterations=1,
-        rounds=1,
-    )
-    emit(points, title="32-stream fleet under all schedulers")
-    assert len(points) == len(SCHEDULERS)
-    assert all(point.n_streams == 32 for point in points)
-
-
-# --------------------------------------------------------------------- #
-# Standalone CLI
-# --------------------------------------------------------------------- #
-def main(argv: Optional[Sequence[str]] = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--streams",
-        type=int,
-        nargs="+",
-        default=[1, 8, 32],
-        help="fleet sizes to sweep",
-    )
-    parser.add_argument(
-        "--schedulers", nargs="+", default=list(SCHEDULERS), help="schedulers to sweep"
-    )
-    parser.add_argument("--system", default="static", help="registered policy name")
-    parser.add_argument("--cores", type=int, default=8, help="shared cluster cores")
-    parser.add_argument(
-        "--online-days", type=float, default=0.02, help="online window length in days"
-    )
-    parser.add_argument(
-        "--buffer-mb", type=float, default=256.0, help="per-stream buffer in MB"
-    )
-    args = parser.parse_args(argv)
-    points = run_fleet_scaling(
-        n_streams_list=args.streams,
-        schedulers=args.schedulers,
-        system=args.system,
-        cores=args.cores,
-        online_days=args.online_days,
-        buffer_bytes=int(args.buffer_mb * 1e6),
-    )
-    emit(points)
-
+test_fleet_scaling, main = benchmark_shim("fleet_scaling")
 
 if __name__ == "__main__":
     main()

@@ -1,197 +1,27 @@
 """Offline-phase scaling benchmark: fit() wall-clock vs. workers, cache hits.
 
-Table 3 reports the offline learning phase as the dominant setup cost
-(creating the forecaster's training data alone is 83% of 1.6 h).  This
-benchmark measures how the staged pipeline behaves on that cost: ``fit``
-wall-clock for each worker count of the process-pool executor, and the
-evaluation-cache hit ratio of a second fit sharing the first run's cache
-(which should approach 1.0 — the offline phase is deterministic, so nothing
-needs re-evaluating).
+Thin shim over the registered figure spec ``offline_scaling`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
 
-Run standalone (emits a machine-readable ``BENCH {...}`` json line)::
+Run standalone::
 
-    PYTHONPATH=src python -m benchmarks.bench_offline_scaling
-    PYTHONPATH=src python -m benchmarks.bench_offline_scaling \
-        --workers 1 2 --history-days 0.1 --presample 40 --category-samples 40
+    PYTHONPATH=src:. python -m benchmarks.bench_offline_scaling [--smoke]
 
-or through pytest-benchmark like the figure benchmarks.
+through pytest-benchmark::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_offline_scaling.py -q -s
+
+or as part of the one-command reproduction suite::
+
+    PYTHONPATH=src python -m repro.figures run --only offline_scaling
 """
 
-from __future__ import annotations
+from benchmarks.common import benchmark_shim
 
-import argparse
-import json
-import time
-from typing import Any, Dict, List, Optional, Sequence
-
-import pytest
-
-from benchmarks.common import print_header
-from repro.core.offline import EvaluationCache
-from repro.core.skyscraper import Skyscraper, SkyscraperResources
-from repro.experiments.results import ExperimentTable
-from repro.workloads.covid import make_covid_setup
-from repro.workloads.ev import make_ev_setup
-
-
-def _make_setup(workload: str, history_days: float):
-    if workload == "covid":
-        return make_covid_setup(history_days=history_days, online_days=0.01)
-    if workload == "ev":
-        return make_ev_setup(history_days=history_days, online_days=0.01)
-    raise ValueError(f"unknown workload {workload!r}")
-
-
-def run_offline_scaling(
-    workers: Sequence[int] = (1, 4),
-    workload: str = "covid",
-    history_days: float = 0.25,
-    presample: int = 80,
-    category_samples: int = 100,
-    max_configurations: int = 6,
-    train_forecaster: bool = False,
-) -> Dict[str, Any]:
-    """Fit the offline phase once per worker count, then once more from cache.
-
-    Every fit starts from a fresh :class:`EvaluationCache` so the wall-clock
-    comparison across worker counts is fair; the ``second_run`` entry re-fits
-    with the serial run's populated cache to measure the hit ratio an
-    experiment sweep (same workload, tweaked downstream knobs) would see.
-    """
-    setup = _make_setup(workload, history_days)
-    resources = SkyscraperResources(
-        cores=8, buffer_bytes=2_000_000_000, cloud_budget_per_day=2.0
-    )
-
-    def fit_once(n_workers: int, cache: EvaluationCache):
-        sky = Skyscraper(setup.workload, resources, n_categories=4, seed=0)
-        started = time.perf_counter()
-        report = sky.fit(
-            setup.source,
-            unlabeled_days=history_days,
-            n_presample_segments=presample,
-            n_category_samples=category_samples,
-            forecast_label_period_seconds=120.0,
-            max_configurations=max_configurations,
-            train_forecaster=train_forecaster,
-            executor=n_workers,
-            evaluation_cache=cache,
-        )
-        return report, time.perf_counter() - started
-
-    rows: List[Dict[str, Any]] = []
-    serial_cache: Optional[EvaluationCache] = None
-    for n_workers in workers:
-        cache = EvaluationCache(setup.workload)
-        report, wall_seconds = fit_once(n_workers, cache)
-        if serial_cache is None:
-            serial_cache = cache
-        rows.append(
-            {
-                "workers": n_workers,
-                "fit_seconds": round(wall_seconds, 4),
-                "evaluations": report.evaluation_cache_misses,
-                "in_run_cache_hits": report.evaluation_cache_hits,
-                "kept_configurations": len(report.kept_configurations),
-                "dominant_step_seconds": round(
-                    report.step_runtimes_seconds["create_forecast_training_data"], 4
-                ),
-            }
-        )
-
-    assert serial_cache is not None
-    second_report, second_wall = fit_once(workers[0], serial_cache)
-    second_run = {
-        "workers": workers[0],
-        "fit_seconds": round(second_wall, 4),
-        "cache_hits": second_report.evaluation_cache_hits,
-        "cache_misses": second_report.evaluation_cache_misses,
-        "hit_ratio": round(second_report.evaluation_cache_hit_ratio, 4),
-    }
-    return {
-        "benchmark": "offline_scaling",
-        "workload": setup.workload.name,
-        "history_days": history_days,
-        "rows": rows,
-        "second_run": second_run,
-    }
-
-
-def emit(payload: Dict[str, Any]) -> None:
-    """Print the human-readable table and the machine-readable BENCH line."""
-    print_header(
-        "Offline-phase scaling",
-        "Table 3 (beyond the paper): staged pipeline, workers x cache",
-    )
-    table = ExperimentTable("fit() wall-clock per executor worker count")
-    for row in payload["rows"]:
-        table.add_row(**row)
-    table.add_note(
-        "second run (shared evaluation cache): "
-        f"{payload['second_run']['fit_seconds']} s at hit ratio "
-        f"{payload['second_run']['hit_ratio']}"
-    )
-    table.add_note(
-        "evaluations are deterministic per (configuration, segment), so every "
-        "worker count produces identical artifacts"
-    )
-    print(table.render())
-    print("BENCH " + json.dumps(payload, sort_keys=True))
-
-
-# --------------------------------------------------------------------- #
-# pytest-benchmark entry point
-# --------------------------------------------------------------------- #
-@pytest.mark.benchmark(group="offline")
-def test_offline_scaling(benchmark):
-    payload = benchmark.pedantic(
-        run_offline_scaling,
-        kwargs={"workers": (1, 4), "history_days": 0.1, "presample": 40, "category_samples": 40},
-        iterations=1,
-        rounds=1,
-    )
-    emit(payload)
-    assert [row["workers"] for row in payload["rows"]] == [1, 4]
-    assert all(row["fit_seconds"] > 0 for row in payload["rows"])
-    # A repeated fit re-evaluates nothing.
-    assert payload["second_run"]["hit_ratio"] > 0
-    assert payload["second_run"]["cache_misses"] == 0
-
-
-# --------------------------------------------------------------------- #
-# Standalone CLI
-# --------------------------------------------------------------------- #
-def main(argv: Optional[Sequence[str]] = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--workers", type=int, nargs="+", default=[1, 4], help="executor worker counts"
-    )
-    parser.add_argument(
-        "--workload", default="covid", choices=["covid", "ev"], help="workload to fit"
-    )
-    parser.add_argument(
-        "--history-days", type=float, default=0.25, help="unlabeled history length"
-    )
-    parser.add_argument(
-        "--presample", type=int, default=80, help="presampled candidate segments"
-    )
-    parser.add_argument(
-        "--category-samples", type=int, default=100, help="segments sampled for clustering"
-    )
-    parser.add_argument(
-        "--train-forecaster", action="store_true", help="include forecaster training"
-    )
-    args = parser.parse_args(argv)
-    payload = run_offline_scaling(
-        workers=args.workers,
-        workload=args.workload,
-        history_days=args.history_days,
-        presample=args.presample,
-        category_samples=args.category_samples,
-        train_forecaster=args.train_forecaster,
-    )
-    emit(payload)
-
+test_offline_scaling, main = benchmark_shim("offline_scaling")
 
 if __name__ == "__main__":
     main()

@@ -1,60 +1,27 @@
-"""Table 1: taxonomy of video knob-tuning systems.
+"""Table 1: taxonomy of video knob-tuning systems, probed behaviourally.
 
-A qualitative table, reproduced by probing the actual behaviour of the
-implemented policies: does the system adapt to the video content, and does it
-guarantee throughput (never overflow the buffer) on under-provisioned
-hardware?
+Thin shim over the registered figure spec ``table1`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
+
+Run standalone::
+
+    PYTHONPATH=src:. python -m benchmarks.bench_table1_taxonomy [--smoke]
+
+through pytest-benchmark::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_table1_taxonomy.py -q -s
+
+or as part of the one-command reproduction suite::
+
+    PYTHONPATH=src python -m repro.figures run --only table1
 """
 
-import pytest
+from benchmarks.common import benchmark_shim
 
-from benchmarks.common import bundle_for, print_header
-from repro.experiments.runner import ExperimentRunner
-from repro.experiments.results import ExperimentTable
+test_table1, main = benchmark_shim("table1")
 
-
-@pytest.mark.benchmark(group="table1")
-def test_table1_taxonomy(benchmark):
-    bundle = bundle_for("covid")
-    runner = ExperimentRunner(bundle)
-    original_buffer = bundle.config.buffer_bytes
-    # A small buffer on a small machine exposes which systems guarantee throughput.
-    bundle.config.buffer_bytes = 60_000_000
-
-    def run_all():
-        try:
-            return {
-                name: runner.run(name, cores=4)
-                for name in ("skyscraper", "chameleon*", "videostorm", "static")
-            }
-        finally:
-            bundle.config.buffer_bytes = original_buffer
-
-    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
-
-    print_header("Taxonomy of knob tuning systems", "Table 1")
-    table = ExperimentTable("observed behaviour on an under-provisioned 4-core machine")
-    expectations = {
-        "skyscraper": ("yes", "yes"),
-        "chameleon*": ("yes", "no"),
-        "videostorm": ("no (query load only)", "yes"),
-        "static": ("no", "yes"),
-    }
-    for name, result in results.items():
-        adapts, _ = expectations[name]
-        table.add_row(
-            system=name,
-            adapts_to_content=adapts,
-            distinct_configs_used=len(result.configuration_usage),
-            throughput_guarantee="no (overflowed)" if result.overflowed else "yes",
-            quality=round(result.weighted_quality, 3),
-        )
-    table.add_note(
-        "paper: only Skyscraper combines content adaptivity with throughput guarantees; "
-        "Chameleon/Zeus adapt but may crash, VideoStorm/VideoEdge only adapt to the query load"
-    )
-    print(table.render())
-
-    assert not results["skyscraper"].overflowed
-    assert len(results["skyscraper"].configuration_usage) > 1
-    assert len(results["static"].configuration_usage) == 1
+if __name__ == "__main__":
+    main()

@@ -1,41 +1,27 @@
-"""Table 6: forecast MAE for different input lengths and split counts."""
+"""Table 6: forecast MAE for different input lengths and split counts.
 
-import pytest
+Thin shim over the registered figure spec ``table6`` — the workloads,
+sweep axes, payload schema and shape checks live in
+``src/repro/figures/catalog.py``; this script just runs the spec through the
+shared suite, prints the tables and emits the machine-readable
+``BENCH {...}`` json line.
 
-from benchmarks.common import bundle_for, print_header
-from repro.experiments.microbench import category_label_series, forecaster_input_mae
-from repro.experiments.results import ExperimentTable
+Run standalone::
 
-LABEL_PERIOD = 180.0
+    PYTHONPATH=src:. python -m benchmarks.bench_table6_forecast_inputs [--smoke]
 
+through pytest-benchmark::
 
-@pytest.mark.benchmark(group="table6")
-def test_table6_forecast_inputs(benchmark):
-    bundle = bundle_for("covid")
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_table6_forecast_inputs.py -q -s
 
-    def run():
-        labels = category_label_series(bundle, 0.0, 0.5, period_seconds=LABEL_PERIOD)
-        return forecaster_input_mae(
-            labels,
-            n_categories=bundle.skyscraper.categorizer.actual_categories,
-            label_period_seconds=LABEL_PERIOD,
-            input_days_options=(0.05, 0.1, 0.2),
-            splits_options=(1, 2, 4, 8),
-            output_days=0.05,
-        )
+or as part of the one-command reproduction suite::
 
-    maes = benchmark.pedantic(run, iterations=1, rounds=1)
+    PYTHONPATH=src python -m repro.figures run --only table6
+"""
 
-    print_header("Forecaster input featurization", "Table 6")
-    table = ExperimentTable("forecast MAE vs. input window and number of splits")
-    for (input_days, splits), mae in sorted(maes.items()):
-        table.add_row(input_days=input_days, splits=splits, forecast_mae=round(mae, 4))
-    table.add_note(
-        "paper: with 8 input splits the MAE is always low enough not to harm end-to-end "
-        "performance, regardless of the input window length"
-    )
-    print(table.render())
+from benchmarks.common import benchmark_shim
 
-    assert all(0.0 <= value <= 1.0 for value in maes.values())
-    eight_split_maes = [mae for (days, splits), mae in maes.items() if splits == 8]
-    assert min(eight_split_maes) < 0.35
+test_table6, main = benchmark_shim("table6")
+
+if __name__ == "__main__":
+    main()

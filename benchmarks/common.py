@@ -1,74 +1,151 @@
-"""Shared fixtures for the benchmark harness.
+"""Shared shim machinery for the benchmark scripts.
 
-Every benchmark regenerates one table or figure of the paper.  The bundles are
-prepared once per workload and cached at module scope; the time windows are
-kept small (hours instead of the paper's 8 days) so the full suite finishes in
-minutes — pass larger ``ExperimentConfig`` windows to approach the paper's
-setup.
+Every ``bench_*`` script under this directory is a thin shim over one
+registered figure spec (see ``src/repro/figures/catalog.py``): the spec owns
+the workloads, sweep axes and shape checks; the shim merely runs it through
+the shared :class:`~repro.figures.suite.FigureSuite`, prints the
+human-readable tables and emits the machine-readable ``BENCH {...}`` json
+line.  One suite instance is shared per process, so a pytest session over
+many benchmark files fits each workload bundle exactly once — the same
+offline-phase sharing the one-command entry point uses::
+
+    PYTHONPATH=src python -m repro.figures run --all [--smoke] [--workers N]
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+import argparse
+import json
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
-from repro.experiments.runner import (
-    ExperimentConfig,
-    ExperimentRunner,
-    SystemBundle,
-    prepare_bundle,
-)
-from repro.workloads.covid import make_covid_setup
-from repro.workloads.ev import make_ev_setup
-from repro.workloads.mosei import make_mosei_setup
-from repro.workloads.mot import make_mot_setup
+import pytest
 
-#: Machine tiers used in the quick benchmark sweeps.
-QUICK_TIERS = ["e2-standard-4", "e2-standard-16", "c2-standard-60"]
+from repro.experiments.results import ExperimentTable
+from repro.figures import FigureArtifact, FigureSuite, figure_spec
+
+#: Process-wide suites (one per mode) so benchmark files share bundles.
+_SUITES: Dict[bool, FigureSuite] = {}
 
 
-def quick_config(online_days: float = 0.05, history_days: float = 0.5) -> ExperimentConfig:
-    """A small experiment window: 12 h of history, ~1.2 h of online video."""
-    return ExperimentConfig(
-        history_days=history_days,
-        online_days=online_days,
-        cloud_budget_per_day=2.0,
-        max_configurations=6,
-        n_categories=4,
-        train_forecaster=False,
-    )
+def shared_suite(smoke: bool = False) -> FigureSuite:
+    """The process-wide in-memory suite for one mode (created on demand)."""
+    suite = _SUITES.get(smoke)
+    if suite is None:
+        suite = _SUITES[smoke] = FigureSuite(smoke=smoke)
+    return suite
 
 
-@lru_cache(maxsize=None)
-def bundle_for(workload_name: str, online_days: float = 0.05) -> SystemBundle:
-    """A fitted bundle for one of the paper's workloads."""
-    config = quick_config(online_days=online_days)
-    if workload_name == "covid":
-        setup = make_covid_setup(history_days=config.history_days, online_days=online_days)
-    elif workload_name == "mot":
-        setup = make_mot_setup(history_days=config.history_days, online_days=online_days)
-    elif workload_name == "mosei-high":
-        setup = make_mosei_setup(
-            variant="high", history_days=config.history_days, online_days=online_days
-        )
-    elif workload_name == "mosei-long":
-        setup = make_mosei_setup(
-            variant="long", history_days=config.history_days, online_days=online_days
-        )
-    elif workload_name == "ev":
-        setup = make_ev_setup(history_days=config.history_days, online_days=online_days)
-    else:
-        raise ValueError(f"unknown workload {workload_name!r}")
-    return prepare_bundle(setup, config)
-
-
-def runner_for(workload_name: str, online_days: float = 0.05) -> ExperimentRunner:
-    """An :class:`ExperimentRunner` over the cached bundle for a workload."""
-    return ExperimentRunner(bundle_for(workload_name, online_days=online_days))
+def run_figure(figure_id: str, smoke: bool = False) -> FigureArtifact:
+    """Run one registered figure spec through the shared suite."""
+    return shared_suite(smoke).run_one(figure_id)
 
 
 def print_header(title: str, paper_reference: str) -> None:
+    """The banner every benchmark prints above its tables."""
     print()
     print("#" * 78)
     print(f"# {title}")
     print(f"# paper reference: {paper_reference}")
     print("#" * 78)
+
+
+def _is_flat_row(row: Dict[str, Any]) -> bool:
+    return all(not isinstance(value, (list, dict)) for value in row.values())
+
+
+def _emit_tables(value: Any, label: str) -> None:
+    """Render every list-of-flat-dicts in a payload subtree as a table."""
+    if isinstance(value, list) and value and all(isinstance(i, dict) for i in value):
+        if all(_is_flat_row(row) for row in value):
+            table = ExperimentTable(label)
+            for row in value:
+                table.add_row(**row)
+            print(table.render())
+            return
+        for index, item in enumerate(value):
+            _emit_tables(item, f"{label}[{index}]")
+    elif isinstance(value, dict):
+        scalars = {
+            key: entry
+            for key, entry in value.items()
+            if not isinstance(entry, (list, dict))
+        }
+        if scalars:
+            table = ExperimentTable(label)
+            table.add_row(**scalars)
+            print(table.render())
+        for key, entry in value.items():
+            if isinstance(entry, (list, dict)):
+                _emit_tables(entry, f"{label}.{key}")
+
+
+def emit_artifact(artifact: FigureArtifact) -> None:
+    """Print the tables, the claim/headline/checks, and the BENCH line."""
+    print_header(artifact.title, artifact.paper_reference)
+    for key, value in artifact.payload.items():
+        if key in ("headline", "checks"):
+            continue
+        _emit_tables(value, key)
+    print(f"paper claim: {artifact.claim}")
+    print(f"reproduced:  {artifact.payload.get('headline', '(spec errored)')}")
+    for entry in artifact.payload.get("checks", []):
+        status = "PASS" if entry["passed"] else "FAIL"
+        detail = f" ({entry['detail']})" if entry.get("detail") else ""
+        print(f"  check {status} {entry['name']}{detail}")
+    print(
+        "BENCH "
+        + json.dumps(
+            {
+                "benchmark": artifact.figure_id,
+                "mode": artifact.mode,
+                "status": artifact.status,
+                **artifact.payload,
+            },
+            sort_keys=True,
+        )
+    )
+
+
+def benchmark_shim(
+    figure_id: str,
+) -> Tuple[Callable[..., None], Callable[[Optional[Sequence[str]]], None]]:
+    """The pytest entry point and standalone ``main`` for one figure shim.
+
+    Usage in a benchmark file::
+
+        test_fig04, main = benchmark_shim("fig04")
+
+        if __name__ == "__main__":
+            main()
+
+    The pytest function runs the spec through pytest-benchmark (one
+    iteration, like the legacy scripts) and fails on spec errors or failed
+    declarative checks; ``main`` additionally understands ``--smoke``.
+    """
+    spec = figure_spec(figure_id)  # fail fast on unknown ids at import time
+
+    @pytest.mark.benchmark(group=figure_id)
+    def test(benchmark):
+        artifact = benchmark.pedantic(
+            run_figure, args=(figure_id,), iterations=1, rounds=1
+        )
+        emit_artifact(artifact)
+        assert artifact.status != "error", artifact.error
+        failed = artifact.failed_checks
+        assert not failed, f"failed checks: {[entry['name'] for entry in failed]}"
+
+    test.__name__ = f"test_{figure_id}"
+    test.__doc__ = f"{spec.paper_reference}: {spec.title}"
+
+    def main(argv: Optional[Sequence[str]] = None) -> None:
+        parser = argparse.ArgumentParser(description=f"{spec.paper_reference}: {spec.title}")
+        parser.add_argument(
+            "--smoke", action="store_true", help="CI-sized windows and sweep axes"
+        )
+        args = parser.parse_args(argv)
+        artifact = run_figure(figure_id, smoke=args.smoke)
+        emit_artifact(artifact)
+        if artifact.status != "ok":
+            raise SystemExit(1)
+
+    return test, main

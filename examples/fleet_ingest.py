@@ -4,12 +4,18 @@ The quickstart ingests a single traffic camera.  This walkthrough scales the
 same EV-counting job to a *fleet*: six phase-shifted cameras (their rush
 hours are offset by two hours each, as across a city) share one 8-core box
 and one daily cloud budget, and a scheduler decides which camera's pending
-segment gets the cores next.  The offline phase is fitted once on the base
-camera and shared across the fleet.
+segment gets the cores next.  The staged offline pipeline is fitted once on
+the base camera (through ``prepare_bundle``, which caches the offline
+artifacts when given a ``cache_dir=``) and shared across the fleet.
 
 Run with::
 
     PYTHONPATH=src python examples/fleet_ingest.py
+
+The streams x schedulers scaling matrix of this setup is the registered
+``fleet_scaling`` figure spec::
+
+    PYTHONPATH=src python -m repro.figures run --only fleet_scaling
 """
 
 from __future__ import annotations

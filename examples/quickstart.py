@@ -1,13 +1,20 @@
-"""Quickstart: register knobs, run the offline phase, ingest live video.
+"""Quickstart: fit the staged offline pipeline, then ingest live video.
 
 This example follows the paper's Appendix-F walk-through with the EV-counting
 job from the introduction: a traffic camera feeds a YOLO detector and a KCF
 tracker, and Skyscraper tunes how often the detector runs and which model size
-it uses.
+it uses.  The knobs live on the workload object; ``fit`` runs the staged
+offline pipeline (sample -> filter -> profile -> categorize -> label ->
+forecast, see ARCHITECTURE.md) with resumable per-stage caching, and
+``ingest`` runs the online planner/switcher loop.
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
+
+For the paper's full evaluation, use the reproduction suite instead::
+
+    PYTHONPATH=src python -m repro.figures run --all
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ def main() -> None:
     # workload object (the "user code" of the paper).
     workload = EVCountingWorkload(seed=3)
     source = workload.make_source()
+    history_days = 0.5  # 12 h of recorded history (the paper uses two weeks)
 
     # Provision hardware: an 8-core on-premise box, a 2 GB video buffer, and
     # up to $2 of cloud credits per day.
@@ -37,15 +45,14 @@ def main() -> None:
 
     # Offline phase (Section 3): a staged pipeline that filters knob
     # configurations and placements, builds content categories and (when
-    # enabled) trains the forecaster.  A short history keeps the example
-    # fast; the paper uses two weeks.  A persistent stage_cache_dir= makes
+    # enabled) trains the forecaster.  A persistent stage_cache_dir= makes
     # re-runs resume from the cached per-stage artifacts, and executor=N
     # fans the stages' independent work units over a process pool.
     print("Running the staged offline pipeline on 12 hours of recorded video ...")
     stage_cache_dir = tempfile.mkdtemp(prefix="skyscraper-stages-")
     report = sky.fit(
         source,
-        unlabeled_days=0.5,
+        unlabeled_days=history_days,
         n_presample_segments=120,
         n_category_samples=150,
         forecast_label_period_seconds=60.0,
@@ -73,7 +80,7 @@ def main() -> None:
     # A second fit resumes entirely from the per-stage artifacts on disk.
     refit_report = Skyscraper(workload, resources, n_categories=4, seed=0).fit(
         source,
-        unlabeled_days=0.5,
+        unlabeled_days=history_days,
         n_presample_segments=120,
         n_category_samples=150,
         forecast_label_period_seconds=60.0,
@@ -88,7 +95,8 @@ def main() -> None:
     # Online phase (Section 4): ingest two hours of live video starting right
     # after the recorded history.
     print("\nIngesting 2 hours of live video ...")
-    result = sky.ingest(source, start_time=report_start(report), duration=2 * 3600.0)
+    online_start = history_days * 86_400.0
+    result = sky.ingest(source, start_time=online_start, duration=2 * 3600.0)
     print(f"  segments processed:    {result.segments_total}")
     print(f"  mean quality:          {result.weighted_quality:.3f} (entity weighted)")
     print(f"  knob switches:         {result.switch_count}")
@@ -108,16 +116,11 @@ def main() -> None:
         sky.export_artifacts().save(tmp_dir)
         restored = OfflineArtifacts.load(tmp_dir).restore(workload, resources)
     restored_result = restored.ingest(
-        source, start_time=report_start(report), duration=2 * 3600.0
+        source, start_time=online_start, duration=2 * 3600.0
     )
     match = restored_result.weighted_quality == result.weighted_quality
     print(f"  restored quality:      {restored_result.weighted_quality:.3f} "
           f"({'identical to' if match else 'differs from'} the direct fit)")
-
-
-def report_start(report) -> float:
-    """Online ingestion starts right after the recorded history (12 hours)."""
-    return 0.5 * 86_400.0
 
 
 if __name__ == "__main__":

@@ -95,10 +95,12 @@ class OfflinePhaseReport:
 
     @property
     def total_runtime_seconds(self) -> float:
+        """Wall-clock of the whole offline phase (sum of the Table-3 steps)."""
         return sum(self.step_runtimes_seconds.values())
 
     @property
     def evaluation_cache_hit_ratio(self) -> float:
+        """Deduplicated fraction of all quality evaluations in this fit."""
         total = self.evaluation_cache_hits + self.evaluation_cache_misses
         return self.evaluation_cache_hits / total if total else 0.0
 
@@ -112,6 +114,7 @@ class SerialExecutor:
     workers: int = 1
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to every item sequentially, preserving order."""
         return [fn(item) for item in items]
 
 
@@ -129,12 +132,14 @@ class ProcessExecutor:
     """
 
     def __init__(self, workers: int):
+        """Create an executor for ``workers`` pool processes (lazily started)."""
         if workers < 1:
             raise ConfigurationError("a ProcessExecutor needs at least 1 worker")
         self.workers = workers
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to every item on the pool, in submission order."""
         items = list(items)
         if self.workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
@@ -149,9 +154,11 @@ class ProcessExecutor:
             self._pool = None
 
     def __enter__(self) -> "ProcessExecutor":
+        """Context-manager entry; returns the executor itself."""
         return self
 
     def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: shuts the worker pool down."""
         self.close()
 
 
@@ -203,6 +210,7 @@ class EvaluationCache:
         workload: VETLWorkload,
         executor: Optional[Union[int, OfflineExecutor]] = None,
     ):
+        """An empty cache for ``workload``; ``executor`` fans out batch misses."""
         self.workload = workload
         self.executor = resolve_executor(executor)
         self._outcomes: Dict[Tuple[KnobConfiguration, int], SegmentOutcome] = {}
@@ -211,6 +219,7 @@ class EvaluationCache:
         self.misses = 0
 
     def __len__(self) -> int:
+        """Number of memoized (configuration, segment) outcomes."""
         return len(self._outcomes)
 
     def bind(self, workload: VETLWorkload, source_key: str) -> None:
@@ -241,12 +250,14 @@ class EvaluationCache:
 
     @property
     def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache so far."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def evaluate(
         self, configuration: KnobConfiguration, segment: VideoSegment
     ) -> SegmentOutcome:
+        """The memoized outcome of evaluating one (configuration, segment)."""
         return self.evaluate_many([(configuration, segment)])[0]
 
     def evaluate_many(
@@ -310,6 +321,7 @@ class StageCache:
     """
 
     def __init__(self, directory: Union[str, Path]):
+        """A cache rooted at ``directory`` (created lazily on first put)."""
         self.directory = Path(directory).expanduser()
 
     def _entry(self, stage: str, digest: str) -> Path:
@@ -318,6 +330,7 @@ class StageCache:
     def get(
         self, stage: str, digest: str
     ) -> Optional[Tuple[Dict[str, Any], Dict[str, np.ndarray]]]:
+        """The cached (document, arrays) for a stage digest, or ``None``."""
         entry = self._entry(stage, digest)
         json_path = entry / "payload.json"
         if not json_path.exists():
@@ -337,6 +350,7 @@ class StageCache:
         document: Dict[str, Any],
         arrays: Optional[Dict[str, np.ndarray]] = None,
     ) -> Path:
+        """Persist one stage artifact atomically; returns its entry path."""
         entry = self._entry(stage, digest)
         entry.mkdir(parents=True, exist_ok=True)
         # Both files land via rename so readers never observe a torn entry:
@@ -563,6 +577,7 @@ class OfflinePipeline:
         evaluation_cache: Optional[EvaluationCache] = None,
         stage_cache_dir: Optional[Union[str, Path]] = None,
     ):
+        """Assemble a pipeline run; see ``Skyscraper.fit`` for the knobs."""
         self.workload = workload
         self.source = source
         self.cores = cores
@@ -593,10 +608,12 @@ class OfflinePipeline:
     # ------------------------------------------------------------------ #
     @property
     def unlabeled_end(self) -> float:
+        """End of the recorded history window in seconds."""
         return self.params.unlabeled_days * SECONDS_PER_DAY
 
     @property
     def total_history_segments(self) -> int:
+        """Number of segments in the recorded history window."""
         return max(int(self.unlabeled_end / self.source.segment_seconds), 1)
 
     def _stage_rng(self, stage: str) -> np.random.Generator:

@@ -27,6 +27,7 @@ from repro.cluster.cost import CostModel, MachineType
 from repro.core.artifacts import OfflineArtifacts
 from repro.core.engine import IngestionEngine, IngestionResult
 from repro.core.fleet import FleetEngine, FleetResult, FleetStream, Scheduler, scheduler_names
+from repro.core.offline import OfflinePhaseReport
 from repro.core.skyscraper import Skyscraper, SkyscraperResources
 from repro.errors import ConfigurationError
 from repro.experiments.hardware import MACHINE_TIERS, machine_for
@@ -67,24 +68,37 @@ class ExperimentConfig:
 
     @property
     def online_start(self) -> float:
+        """Start of the online window (seconds since stream start)."""
         return self.history_days * SECONDS_PER_DAY
 
     @property
     def online_end(self) -> float:
+        """End of the online window (seconds since stream start)."""
         return (self.history_days + self.online_days) * SECONDS_PER_DAY
 
     @property
     def online_hours(self) -> float:
+        """Length of the online window in hours (cost accounting)."""
         return self.online_days * 24.0
 
 
 @dataclass
 class SystemBundle:
-    """A fitted Skyscraper instance plus the setup it was fitted on."""
+    """A fitted Skyscraper instance plus the setup it was fitted on.
+
+    ``offline_report`` is the :class:`~repro.core.offline.OfflinePhaseReport`
+    of the ``fit`` that produced the bundle (``None`` when the bundle was
+    restored from serialized artifacts instead of fitted), and
+    ``restored_from_cache`` records whether :func:`prepare_bundle` loaded the
+    bundle from its whole-bundle artifact cache — the figure-reproduction
+    suite uses both for its cache-hit accounting.
+    """
 
     setup: WorkloadSetup
     config: ExperimentConfig
     skyscraper: Skyscraper
+    offline_report: Optional[OfflinePhaseReport] = None
+    restored_from_cache: bool = False
 
     def reprovision(
         self,
@@ -92,6 +106,12 @@ class SystemBundle:
         cloud_budget_per_day: Optional[float] = None,
         buffer_bytes: Optional[int] = None,
     ) -> Skyscraper:
+        """The fitted Skyscraper re-provisioned for different hardware.
+
+        Overrides default to the bundle config's budget and buffer; profiles
+        are re-derived for the new core count (see
+        :meth:`~repro.core.skyscraper.Skyscraper.with_resources`).
+        """
         budget = (
             self.config.cloud_budget_per_day
             if cloud_budget_per_day is None
@@ -141,6 +161,7 @@ def prepare_bundle(
     reference_cores: int = 8,
     cache_dir: Optional[Union[str, Path]] = None,
     fit_workers: Optional[int] = None,
+    artifact_cache: bool = True,
 ) -> SystemBundle:
     """Run the offline phase once for a workload setup.
 
@@ -153,6 +174,12 @@ def prepare_bundle(
     cached upstream stage artifacts instead of re-evaluating the history.
     ``fit_workers`` > 1 runs the offline stages' independent work units on a
     process pool.
+
+    ``artifact_cache=False`` disables only the whole-bundle restore/save while
+    keeping the per-stage cache, so ``fit`` always runs and its
+    :class:`~repro.core.offline.OfflinePhaseReport` (with per-stage cache-hit
+    counters) lands on ``SystemBundle.offline_report`` — the accounting mode
+    the figure-reproduction suite runs in.
     """
     config = config or ExperimentConfig(
         history_days=setup.history_days, online_days=setup.online_days
@@ -168,10 +195,15 @@ def prepare_bundle(
     if cache_dir is not None:
         cache_root = Path(cache_dir).expanduser()
         cache_path = cache_root / _bundle_cache_key(setup, config, reference_cores)
-        if (cache_path / "artifacts.json").exists():
+        if artifact_cache and (cache_path / "artifacts.json").exists():
             artifacts = OfflineArtifacts.load(cache_path)
             skyscraper = artifacts.restore(setup.workload, resources)
-            return SystemBundle(setup=setup, config=config, skyscraper=skyscraper)
+            return SystemBundle(
+                setup=setup,
+                config=config,
+                skyscraper=skyscraper,
+                restored_from_cache=True,
+            )
         stage_cache_dir = cache_root / "stages"
 
     skyscraper = Skyscraper(
@@ -182,7 +214,7 @@ def prepare_bundle(
         planned_interval_seconds=config.planned_interval_seconds,
         seed=config.seed,
     )
-    skyscraper.fit(
+    report = skyscraper.fit(
         setup.source,
         unlabeled_days=config.history_days,
         train_forecaster=config.train_forecaster,
@@ -190,9 +222,11 @@ def prepare_bundle(
         executor=fit_workers,
         stage_cache_dir=stage_cache_dir,
     )
-    if cache_path is not None:
+    if artifact_cache and cache_path is not None:
         skyscraper.export_artifacts().save(cache_path)
-    return SystemBundle(setup=setup, config=config, skyscraper=skyscraper)
+    return SystemBundle(
+        setup=setup, config=config, skyscraper=skyscraper, offline_report=report
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -226,6 +260,7 @@ class ExperimentRunner:
     """
 
     def __init__(self, bundle: SystemBundle, max_workers: Optional[int] = None):
+        """Wrap a fitted bundle; ``max_workers`` sets the default sweep pool."""
         self.bundle = bundle
         self.max_workers = max_workers
 
@@ -393,6 +428,7 @@ class ExperimentRunner:
         contexts: Dict[Tuple[str, int], RunContext] = {}
 
         def context_of(system_name: str, stream_buffer: int) -> RunContext:
+            """One shared context per (system, buffer) combination."""
             key = (policy_spec(system_name).name, stream_buffer)
             if key not in contexts:
                 contexts[key] = self.context_for(
@@ -404,6 +440,7 @@ class ExperimentRunner:
         replay_cache: Dict[Tuple[str, int], AssignmentReplayPolicy] = {}
 
         def policy_for(system_name: str, stream_buffer: int, context: RunContext):
+            """A fresh policy instance for one stream of the fleet."""
             # ``policy_options`` configure the *default* system's policies;
             # per-stream override systems take their registry defaults (their
             # factories would reject foreign keyword options).

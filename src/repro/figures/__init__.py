@@ -1,0 +1,63 @@
+"""The unified figure-reproduction subsystem.
+
+One declarative registry of every figure/table of the paper's evaluation
+(:mod:`repro.figures.spec` + the built-in :mod:`repro.figures.catalog`), one
+suite runner executing specs with a shared offline-phase cache and optional
+process fan-out (:mod:`repro.figures.suite`), and one reporting layer
+rendering ``REPRODUCTION.md`` from the machine-readable artifacts
+(:mod:`repro.figures.report`).  Run it with::
+
+    PYTHONPATH=src python -m repro.figures run --all [--smoke] [--workers N]
+
+Importing this package registers the built-in catalog, exactly like
+importing :mod:`repro.registry` provides the built-in policies.
+"""
+
+from repro.figures.context import BundleProvider, CacheCounters, FigureContext
+from repro.figures.report import check_report, render_report, write_report
+from repro.figures.spec import (
+    FigureSpec,
+    check,
+    figure_names,
+    figure_spec,
+    register_figure,
+    unregister_figure,
+    validate_payload,
+    validate_schema,
+)
+from repro.figures.suite import (
+    ARTIFACT_FORMAT_VERSION,
+    STATUS_CHECK_FAILED,
+    STATUS_ERROR,
+    STATUS_OK,
+    FigureArtifact,
+    FigureSuite,
+    load_artifacts,
+)
+
+# Importing the catalog registers the built-in figure specs as a side effect.
+from repro.figures import catalog  # noqa: E402,F401  (import order is load-bearing)
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "BundleProvider",
+    "CacheCounters",
+    "FigureArtifact",
+    "FigureContext",
+    "FigureSpec",
+    "FigureSuite",
+    "STATUS_CHECK_FAILED",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "check",
+    "check_report",
+    "figure_names",
+    "figure_spec",
+    "load_artifacts",
+    "register_figure",
+    "render_report",
+    "unregister_figure",
+    "validate_payload",
+    "validate_schema",
+    "write_report",
+]

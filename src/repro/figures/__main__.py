@@ -1,0 +1,8 @@
+"""``python -m repro.figures`` — the reproduction suite CLI."""
+
+import sys
+
+from repro.figures.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,28 +77,34 @@ class RunContext:
     # ------------------------------------------------------------------ #
     @property
     def workload(self) -> VETLWorkload:
+        """The V-ETL workload the bundle was fitted on."""
         return self.bundle.setup.workload
 
     @property
     def source(self) -> SyntheticVideoSource:
+        """The bundle's video source."""
         return self.bundle.setup.source
 
     @property
     def profiles(self) -> ProfileSet:
+        """The fitted placement profiles, re-provisioned for this run."""
         if self.skyscraper.profiles is None:
             raise ConfigurationError("RunContext.skyscraper has no fitted profiles")
         return self.skyscraper.profiles
 
     @property
     def segment_seconds(self) -> float:
+        """Length of one video segment in seconds."""
         return self.source.segment_seconds
 
     @property
     def online_start(self) -> float:
+        """Start of the online window (seconds since stream start)."""
         return self.bundle.config.online_start
 
     @property
     def online_end(self) -> float:
+        """End of the online window (seconds since stream start)."""
         return self.bundle.config.online_end
 
 
@@ -144,6 +150,7 @@ def register_policy(
         raise ConfigurationError("policy name must be non-empty")
 
     def decorate(factory: PolicyFactory) -> PolicyFactory:
+        """Register ``factory`` under the decorator's name and aliases."""
         for candidate in (name, *aliases):
             if candidate in _REGISTRY or candidate in _ALIASES:
                 raise ConfigurationError(
@@ -222,12 +229,14 @@ class AssignmentReplayPolicy:
     """
 
     def __init__(self, name: str, profiles: ProfileSet, assignment: Mapping[int, int]):
+        """Wrap a ``segment_index -> configuration_index`` assignment."""
         self.name = name
         self.profiles = profiles
         self.assignment = dict(assignment)
         self._fallback = profiles.index_of(profiles.cheapest().configuration)
 
     def decide(self, context: DecisionContext) -> PolicyDecision:
+        """The precomputed configuration for this segment (cheapest on gaps)."""
         index = self.assignment.get(context.segment.segment_index, self._fallback)
         profile = self.profiles[index]
         return PolicyDecision(
@@ -237,6 +246,7 @@ class AssignmentReplayPolicy:
         )
 
     def observe(self, outcome: SegmentOutcome, decision: PolicyDecision) -> None:
+        """Replay policies learn nothing online; observations are ignored."""
         return None
 
 

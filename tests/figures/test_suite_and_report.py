@@ -1,0 +1,216 @@
+"""Figure suite: artifacts, determinism, cache accounting, report, shims."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.figures import (
+    BundleProvider,
+    FigureSuite,
+    check_report,
+    load_artifacts,
+    register_figure,
+    render_report,
+    unregister_figure,
+    write_report,
+)
+from repro.figures.suite import STATUS_CHECK_FAILED, STATUS_ERROR, STATUS_OK
+
+
+# ------------------------------------------------------------------ #
+# Suite mechanics on throwaway specs (no offline fits involved)
+# ------------------------------------------------------------------ #
+@pytest.fixture
+def scratch_specs():
+    ids = []
+
+    def add(figure_id, runner, schema=None):
+        register_figure(
+            figure_id,
+            title=f"scratch {figure_id}",
+            paper_reference="Figure 0",
+            claim="scratch claim",
+            schema=schema or {"value": "number"},
+        )(runner)
+        ids.append(figure_id)
+        return figure_id
+
+    yield add
+    for figure_id in ids:
+        unregister_figure(figure_id)
+
+
+def test_suite_writes_artifact_json(tmp_path, scratch_specs):
+    scratch_specs(
+        "zz_ok",
+        lambda ctx: {
+            "headline": "fine",
+            "checks": [{"name": "c", "passed": True, "detail": ""}],
+            "value": 1.0,
+        },
+    )
+    suite = FigureSuite(out_dir=tmp_path / "artifacts")
+    artifact = suite.run_one("zz_ok")
+    assert artifact.status == STATUS_OK and artifact.ok
+    document = json.loads((tmp_path / "artifacts" / "zz_ok.json").read_text())
+    assert document["figure"] == "zz_ok"
+    assert document["payload"]["value"] == 1.0
+    assert document["meta"]["cache"]["fits"] == 0
+
+
+def test_suite_captures_spec_errors(tmp_path, scratch_specs):
+    def boom(ctx):
+        raise RuntimeError("spec exploded")
+
+    scratch_specs("zz_boom", boom)
+    suite = FigureSuite(out_dir=tmp_path)
+    artifact = suite.run_one("zz_boom")
+    assert artifact.status == STATUS_ERROR
+    assert "spec exploded" in artifact.error
+    # The artifact is still written and parseable.
+    assert json.loads((tmp_path / "zz_boom.json").read_text())["status"] == "error"
+
+
+def test_suite_flags_failed_checks(scratch_specs):
+    scratch_specs(
+        "zz_failing",
+        lambda ctx: {
+            "headline": "h",
+            "checks": [{"name": "nope", "passed": False, "detail": "broken"}],
+            "value": 0.0,
+        },
+    )
+    artifact = FigureSuite().run_one("zz_failing")
+    assert artifact.status == STATUS_CHECK_FAILED
+    assert [c["name"] for c in artifact.failed_checks] == ["nope"]
+
+
+def test_schema_violation_becomes_error_artifact(scratch_specs):
+    scratch_specs(
+        "zz_bad_payload",
+        lambda ctx: {"headline": "h", "checks": [], "value": "not a number"},
+    )
+    artifact = FigureSuite().run_one("zz_bad_payload")
+    assert artifact.status == STATUS_ERROR
+    assert "violating its declared schema" in artifact.error
+
+
+def test_missing_headline_is_a_schema_violation(scratch_specs):
+    scratch_specs("zz_no_headline", lambda ctx: {"checks": [], "value": 1.0})
+    artifact = FigureSuite().run_one("zz_no_headline")
+    assert artifact.status == STATUS_ERROR
+    assert "headline" in artifact.error
+
+
+# ------------------------------------------------------------------ #
+# Real specs: smoke determinism and shim parity
+# ------------------------------------------------------------------ #
+def test_smoke_mode_artifact_is_deterministic():
+    """Two independent smoke runs of a real spec produce identical payloads."""
+    first = FigureSuite(smoke=True).run_one("fig22")
+    second = FigureSuite(smoke=True).run_one("fig22")
+    assert first.status == STATUS_OK
+    assert json.dumps(first.payload, sort_keys=True) == json.dumps(
+        second.payload, sort_keys=True
+    )
+
+
+def test_legacy_shim_bench_line_matches_spec_output(capsys):
+    """The BENCH json a legacy script emits IS the registered spec's payload."""
+    from benchmarks.bench_fig22_simulator_micro import main
+
+    main(["--smoke"])
+    bench_lines = [
+        line
+        for line in capsys.readouterr().out.splitlines()
+        if line.startswith("BENCH ")
+    ]
+    assert len(bench_lines) == 1
+    emitted = json.loads(bench_lines[0][len("BENCH "):])
+    assert emitted.pop("benchmark") == "fig22"
+    assert emitted.pop("mode") == "smoke"
+    assert emitted.pop("status") == STATUS_OK
+
+    artifact = FigureSuite(smoke=True).run_one("fig22")
+    assert emitted == artifact.payload
+
+
+# ------------------------------------------------------------------ #
+# Cache accounting
+# ------------------------------------------------------------------ #
+def test_provider_memoizes_bundles_in_process():
+    provider = BundleProvider(smoke=True)
+    first = provider.bundle("covid")
+    again = provider.bundle("covid")
+    assert first is again
+    assert provider.counters.fits == 1
+    assert provider.counters.memo_hits == 1
+
+
+def test_second_provider_hits_the_stage_cache(tmp_path):
+    """A fresh provider over the same cache_dir resumes from stage artifacts."""
+    cold = BundleProvider(cache_dir=tmp_path, smoke=True)
+    cold.bundle("covid")
+    assert cold.counters.stage_hits == 0
+
+    warm = BundleProvider(cache_dir=tmp_path, smoke=True)
+    bundle = warm.bundle("covid")
+    assert warm.counters.fits == 1
+    assert warm.counters.stage_hits > 0
+    assert bundle.offline_report is not None
+    assert any(bundle.offline_report.stage_cache_hits.values())
+
+
+def test_artifact_cache_mode_restores_without_fitting(tmp_path):
+    cold = BundleProvider(cache_dir=tmp_path, smoke=True, artifact_cache=True)
+    fitted = cold.bundle("covid")
+    assert not fitted.restored_from_cache
+
+    warm = BundleProvider(cache_dir=tmp_path, smoke=True, artifact_cache=True)
+    restored = warm.bundle("covid")
+    assert restored.restored_from_cache
+    assert warm.counters.bundle_restores == 1 and warm.counters.fits == 0
+    # The restore is exact: same profiles, same categories.
+    assert (
+        restored.skyscraper.categorizer.actual_categories
+        == fitted.skyscraper.categorizer.actual_categories
+    )
+
+
+# ------------------------------------------------------------------ #
+# REPRODUCTION.md generation
+# ------------------------------------------------------------------ #
+def test_report_regeneration_is_diff_free(tmp_path, scratch_specs):
+    scratch_specs(
+        "zz_report_ok",
+        lambda ctx: {
+            "headline": "metric 1.0",
+            "checks": [{"name": "c", "passed": True, "detail": ""}],
+            "value": 1.0,
+        },
+    )
+
+    def failing(ctx):
+        raise ValueError("broken spec")
+
+    scratch_specs("zz_report_err", failing)
+
+    suite = FigureSuite(out_dir=tmp_path / "artifacts")
+    suite.run(["zz_report_ok", "zz_report_err"])
+    artifacts = load_artifacts(tmp_path / "artifacts")
+    assert [a.figure_id for a in artifacts] == ["zz_report_err", "zz_report_ok"]
+
+    report_path = tmp_path / "REPRODUCTION.md"
+    write_report(artifacts, report_path)
+    text = report_path.read_text()
+    assert "`zz_report_ok`" in text and "metric 1.0" in text
+    assert "## Failures" in text and "broken spec" in text
+
+    # Re-rendering from the same artifacts is byte-identical ...
+    assert check_report(artifacts, report_path)
+    assert render_report(load_artifacts(tmp_path / "artifacts")) == text
+    # ... and --check catches manual edits.
+    report_path.write_text(text + "drift\n")
+    assert not check_report(artifacts, report_path)
