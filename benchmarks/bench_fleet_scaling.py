@@ -1,14 +1,23 @@
-"""Fleet scaling benchmark: streams x schedulers on one shared cluster.
+"""Fleet scaling benchmarks: scheduler sweeps and the sharded service.
 
-Thin shim over the registered figure spec ``fleet_scaling`` — the workloads,
-sweep axes, payload schema and shape checks live in
-``src/repro/figures/catalog.py``; this script just runs the spec through the
-shared suite, prints the tables and emits the machine-readable
-``BENCH {...}`` json line.
+Two entry points share this file:
+
+* the default path is a thin shim over the registered figure specs
+  ``fleet_scaling`` (streams x schedulers on one engine) and
+  ``fleet_service_scaling`` (one fleet across service shard counts) — the
+  workloads, sweep axes, payload schema and shape checks live in
+  ``src/repro/figures/catalog.py``;
+* ``--streams N --shards a,b,c`` runs the ingestion-service scaling
+  harness directly at an arbitrary scale — this is how the acceptance
+  run (``--streams 1024 --shards 1,4,8``) is produced, far above figure
+  scale — and ``--append-trajectory`` records the result as one point in
+  the cross-PR trajectory file ``benchmarks/BENCH_fleet_scaling.json``.
 
 Run standalone::
 
     PYTHONPATH=src:. python -m benchmarks.bench_fleet_scaling [--smoke]
+    PYTHONPATH=src:. python -m benchmarks.bench_fleet_scaling \
+        --streams 1024 --shards 1,4,8 [--append-trajectory --label pr6]
 
 through pytest-benchmark::
 
@@ -17,11 +26,128 @@ through pytest-benchmark::
 or as part of the one-command reproduction suite::
 
     PYTHONPATH=src python -m repro.figures run --only fleet_scaling
+    PYTHONPATH=src python -m repro.figures run --only fleet_service_scaling
 """
 
-from benchmarks.common import benchmark_shim
+from __future__ import annotations
 
-test_fleet_scaling, main = benchmark_shim("fleet_scaling")
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from benchmarks.common import benchmark_shim, print_header, run_figure, emit_artifact
+
+from repro.experiments.results import ExperimentTable
+from repro.figures.context import BundleProvider
+from repro.service.bench import run_service_scaling
+
+#: Cross-PR scaling trajectory: one point appended per measured milestone.
+TRAJECTORY_PATH = Path(__file__).resolve().parent / "BENCH_fleet_scaling.json"
+
+test_fleet_scaling, _spec_main = benchmark_shim("fleet_scaling")
+test_fleet_service_scaling, _service_spec_main = benchmark_shim(
+    "fleet_service_scaling"
+)
+
+
+def run_service_bench(
+    n_streams: int,
+    shard_counts: Sequence[int],
+    smoke: bool = False,
+    online_days: float = 0.01,
+) -> List[Dict[str, Any]]:
+    """The direct (non-figure) service scaling run at an arbitrary scale."""
+    provider = BundleProvider(smoke=smoke)
+    bundle = provider.bundle("ev", online_days=online_days)
+    rows = run_service_scaling(bundle, n_streams, shard_counts)
+    print_header(
+        f"Ingestion-service scaling: {n_streams} streams",
+        "fleet service (beyond the paper)",
+    )
+    table = ExperimentTable("service scaling")
+    for row in rows:
+        table.add_row(**row)
+    walls = {row["shards"]: row["wall_s"] for row in rows}
+    widest, serial = max(walls), min(walls)
+    if widest != serial:
+        table.add_note(
+            f"{widest}-shard wall {walls[widest]:.2f}s vs "
+            f"{serial}-shard {walls[serial]:.2f}s "
+            f"({walls[serial] / walls[widest]:.2f}x)"
+        )
+    print(table.render())
+    all_terminal = all(
+        row["success"] + row["dead_letter"] == row["streams"] for row in rows
+    )
+    scaled = widest == serial or walls[widest] < walls[serial]
+    print(
+        "BENCH "
+        + json.dumps(
+            {
+                "benchmark": "fleet_service_scaling",
+                "mode": "smoke" if smoke else "full",
+                "status": "ok" if (all_terminal and scaled) else "error",
+                "streams": n_streams,
+                "rows": rows,
+            },
+            sort_keys=True,
+        )
+    )
+    if not (all_terminal and scaled):
+        raise SystemExit(1)
+    return rows
+
+
+def append_trajectory(
+    rows: List[Dict[str, Any]], label: str, date: str
+) -> None:
+    """Append one measured point to the cross-PR trajectory file."""
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text())
+    else:
+        trajectory = {"benchmark": "fleet_service_scaling", "points": []}
+    trajectory["points"].append(
+        {"label": label, "date": date, "streams": rows[0]["streams"], "rows": rows}
+    )
+    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"appended point {label!r} to {TRAJECTORY_PATH}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """Dispatch between the figure shims and the direct service run."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument(
+        "--streams",
+        type=int,
+        default=None,
+        help="direct service run at this fleet size (skips the figure specs)",
+    )
+    parser.add_argument("--shards", default="1,4,8", help="comma list of counts")
+    parser.add_argument("--online-days", type=float, default=0.01)
+    parser.add_argument(
+        "--append-trajectory",
+        action="store_true",
+        help="record the run in benchmarks/BENCH_fleet_scaling.json",
+    )
+    parser.add_argument("--label", default="local", help="trajectory point label")
+    parser.add_argument("--date", default="", help="trajectory point date")
+    args = parser.parse_args(argv)
+    if args.streams is None:
+        for figure_id in ("fleet_scaling", "fleet_service_scaling"):
+            artifact = run_figure(figure_id, smoke=args.smoke)
+            emit_artifact(artifact)
+            if artifact.status != "ok":
+                raise SystemExit(1)
+        return
+    shard_counts = [int(part) for part in args.shards.split(",")]
+    rows = run_service_bench(
+        args.streams, shard_counts, smoke=args.smoke, online_days=args.online_days
+    )
+    if args.append_trajectory:
+        append_trajectory(rows, label=args.label, date=args.date)
+
 
 if __name__ == "__main__":
     main()

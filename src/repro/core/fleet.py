@@ -306,6 +306,12 @@ class FleetEngine:
             ``"round-robin"``, ``"lag-aware"``) or a :class:`Scheduler`
             instance.  Names build a fresh instance per run.
         keep_traces: whether sessions record per-segment traces.
+        ledger: an external budget ledger to charge instead of a fresh
+            per-run :class:`DailyBudgetLedger` — how sharded fleets spend
+            one shared daily budget across engines (see
+            :class:`repro.service.ledger.SharedDailyLedger`).  With an
+            external ledger the result's ``cloud_spend_by_day`` reflects
+            the *shared* ledger, not just this engine's charges.
     """
 
     def __init__(
@@ -314,11 +320,13 @@ class FleetEngine:
         cloud: Optional[CloudSpec] = None,
         scheduler: Union[str, Scheduler] = "fifo",
         keep_traces: bool = True,
+        ledger: Optional["DailyBudgetLedger"] = None,
     ):
         self.cluster = cluster
         self.cloud = cloud or CloudSpec()
         self.scheduler = scheduler
         self.keep_traces = keep_traces
+        self.ledger = ledger
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -358,7 +366,11 @@ class FleetEngine:
             sessions.append(session)
 
         scheduler = make_scheduler(self.scheduler)
-        ledger = DailyBudgetLedger(self.cloud.daily_budget_dollars)
+        ledger = (
+            self.ledger
+            if self.ledger is not None
+            else DailyBudgetLedger(self.cloud.daily_budget_dollars)
+        )
         loop = EventLoop()
         for session in sessions:
             session.start(start_time, end_time)
@@ -391,7 +403,10 @@ class FleetEngine:
                 finish, cloud_dollars = chosen.execute(
                     entry, now, self.cluster, ledger.remaining(now)
                 )
-                ledger.charge(now, cloud_dollars)
+                # Zero charges are skipped so cloud-free fleets never pay
+                # for a (possibly cross-process) ledger round trip.
+                if cloud_dollars:
+                    ledger.charge(now, cloud_dollars)
                 busy_until = finish
                 loop.schedule(finish, FINISH, chosen, entry.segment.encoded_bytes)
 

@@ -152,6 +152,25 @@ def _render_value(value: Any) -> str:
     return str(value)
 
 
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of an allocation: ``(Σx)² / (n·Σx²)``.
+
+    1.0 means perfectly equal shares; ``1/n`` means one participant got
+    everything.  The fleet-service benchmark reports it over the per-stream
+    served fractions to quantify how evenly a shard's scheduler treated its
+    streams.  An empty or all-zero allocation is perfectly fair (1.0) by
+    convention — nobody was served, nobody was favoured.
+    """
+    series = [float(value) for value in values]
+    if any(value < 0 for value in series):
+        raise ConfigurationError("fairness is defined over non-negative values")
+    square_sum = sum(value * value for value in series)
+    if not series or square_sum == 0.0:
+        return 1.0
+    total = sum(series)
+    return (total * total) / (len(series) * square_sum)
+
+
 def normalize_series(values: Sequence[float], reference: Optional[float] = None) -> List[float]:
     """Normalize a series to its maximum (or an explicit reference value).
 

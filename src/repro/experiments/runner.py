@@ -370,6 +370,7 @@ class ExperimentRunner:
         buffer_bytes: Optional[int] = None,
         keep_traces: bool = False,
         cloud_budget_per_day: Optional[float] = None,
+        ledger=None,
         **policy_options,
     ) -> FleetResult:
         """Ingest a fleet of streams concurrently over the bundle's window.
@@ -397,6 +398,10 @@ class ExperimentRunner:
         per fleet) and replay it on every stream by segment index, so on
         shifted or re-seeded cameras they are approximations rather than
         true upper bounds.
+
+        ``ledger`` forwards an external budget ledger to the engine (see
+        :class:`~repro.core.fleet.FleetEngine`); the sharded ingestion
+        service uses it to fund many engines from one shared daily budget.
         """
         if (cores is None) == (tier is None):
             raise ConfigurationError("pass exactly one of cores= or tier=")
@@ -506,6 +511,7 @@ class ExperimentRunner:
             cloud=context.skyscraper.cloud,
             scheduler=scheduler,
             keep_traces=keep_traces,
+            ledger=ledger,
         )
         return engine.run(
             streams, self.bundle.config.online_start, self.bundle.config.online_end

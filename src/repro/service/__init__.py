@@ -1,0 +1,64 @@
+"""The fleet ingestion service: a production-shaped front end for the fleet runtime.
+
+This package turns the single-process :class:`~repro.core.fleet.FleetEngine`
+into a sharded ingestion *service*: streams are submitted as jobs with a full
+``queued → running → success/failed/dead_letter`` lifecycle, a dispatcher
+enforces per-tenant admission caps, a consistent-hash ring assigns each
+stream to one of N shard workers (one engine per worker process), failed
+jobs retry with exponential backoff and jitter, retry-exhausted jobs land in
+a dead-letter queue, and a killed worker's running jobs are recovered onto
+the surviving shards.  All shards charge one multiprocessing-safe
+:class:`~repro.service.ledger.SharedDailyLedger` with atomic day-reset.
+
+Entry points:
+
+* programmatic — :class:`~repro.service.service.FleetIngestionService`;
+* command line — ``python -m repro.service run/submit/status/requeue/schedulers``;
+* benchmark — :func:`~repro.service.bench.run_service_scaling` (also
+  registered as the ``fleet_service_scaling`` figure spec).
+"""
+
+from repro.service.dispatcher import JobDispatcher, TenantQuota
+from repro.service.jobs import (
+    DEAD_LETTER,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    SUCCESS,
+    IngestionJob,
+    InMemoryJobStore,
+    JobStore,
+    JsonFileJobStore,
+    classify_error,
+)
+from repro.service.ledger import SharedDailyLedger
+from repro.service.service import (
+    FleetIngestionService,
+    RetryPolicy,
+    ServiceConfig,
+    ServiceReport,
+)
+from repro.service.shards import ShardRing
+
+__all__ = [
+    "DEAD_LETTER",
+    "FAILED",
+    "FleetIngestionService",
+    "IngestionJob",
+    "InMemoryJobStore",
+    "JOB_STATES",
+    "JobDispatcher",
+    "JobStore",
+    "JsonFileJobStore",
+    "QUEUED",
+    "RUNNING",
+    "RetryPolicy",
+    "SUCCESS",
+    "ServiceConfig",
+    "ServiceReport",
+    "ShardRing",
+    "SharedDailyLedger",
+    "TenantQuota",
+    "classify_error",
+]

@@ -1,0 +1,142 @@
+"""A multiprocessing-safe daily cloud-budget ledger shared by all shards.
+
+The single-process fleet engine funds a fleet through one
+:class:`~repro.core.fleet.DailyBudgetLedger`; a *sharded* fleet needs the
+same semantics across worker processes.  :class:`SharedDailyLedger` keeps
+per-day spend buckets in a raw shared-memory array guarded by one
+cross-process lock:
+
+* **conservation** — every charge lands in exactly one day bucket under the
+  lock, so the per-day buckets always sum to the total charged, no matter
+  how many workers charge concurrently;
+* **atomic day-reset** — a charge computes its day index *inside* the lock,
+  so a charge racing a day boundary is applied wholly to one day, and the
+  first reader of a new day observes the full daily allowance (the "reset"
+  is the atomic switch to a fresh, zeroed bucket);
+* **no lost updates** — read-modify-write of a bucket never interleaves.
+
+The ledger quacks like :class:`~repro.core.fleet.DailyBudgetLedger`
+(``remaining`` / ``charge`` / ``spent_on`` / ``spend_by_day`` /
+``total_dollars``) so a :class:`~repro.core.fleet.FleetEngine` can use it
+directly via its ``ledger=`` hook.  Unlimited budgets take a lock-free fast
+path — ``remaining`` is a constant and zero-dollar charges are dropped —
+so fleets that never touch the cloud pay nothing for the shared ledger.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Optional
+
+from repro.core.engine import SECONDS_PER_DAY
+from repro.errors import ConfigurationError
+
+
+class SharedDailyLedger:
+    """Cross-process daily budget ledger backed by shared memory.
+
+    Args:
+        daily_budget_dollars: the fleet-wide daily allowance (``None``
+            means unlimited cloud).
+        base_day: first day index the ledger can account (charges are
+            bucketed at ``day - base_day``); pass
+            ``SharedDailyLedger.day_of(start_time)`` of the service window.
+        horizon_days: number of day buckets after ``base_day``.
+    """
+
+    def __init__(
+        self,
+        daily_budget_dollars: Optional[float],
+        base_day: int = 0,
+        horizon_days: int = 4096,
+    ):
+        if daily_budget_dollars is not None and daily_budget_dollars < 0:
+            raise ConfigurationError("daily_budget_dollars must be non-negative")
+        if horizon_days < 1:
+            raise ConfigurationError("horizon_days must be positive")
+        self.daily_budget_dollars = daily_budget_dollars
+        self.base_day = int(base_day)
+        self.horizon_days = int(horizon_days)
+        # lock=False: the explicit Lock below guards every access; buckets
+        # live in raw shared memory inherited by (or pickled to) workers.
+        self._spend = multiprocessing.Array("d", self.horizon_days, lock=False)
+        self._lock = multiprocessing.Lock()
+
+    @staticmethod
+    def day_of(time: float) -> int:
+        """Day index containing ``time`` (same convention as the engine)."""
+        return int(time // SECONDS_PER_DAY)
+
+    def _slot(self, day: int) -> int:
+        slot = day - self.base_day
+        if not 0 <= slot < self.horizon_days:
+            raise ConfigurationError(
+                f"day {day} outside the ledger horizon "
+                f"[{self.base_day}, {self.base_day + self.horizon_days})"
+            )
+        return slot
+
+    # ------------------------------------------------------------------ #
+    # DailyBudgetLedger interface
+    # ------------------------------------------------------------------ #
+    def spent_on(self, time: float) -> float:
+        """Dollars spent during the day containing ``time``."""
+        slot = self._slot(self.day_of(time))
+        with self._lock:
+            return self._spend[slot]
+
+    def remaining(self, time: float) -> float:
+        """Budget left for the day containing ``time`` (``inf`` if unlimited)."""
+        if self.daily_budget_dollars is None:
+            return float("inf")
+        return max(self.daily_budget_dollars - self.spent_on(time), 0.0)
+
+    def charge(self, time: float, dollars: float) -> None:
+        """Atomically charge ``dollars`` against the day containing ``time``."""
+        if dollars == 0.0:
+            return
+        if dollars < 0:
+            raise ConfigurationError("cannot charge negative dollars")
+        # The day index is computed inside the lock so a charge racing the
+        # day boundary lands wholly in one bucket (atomic day-reset).
+        with self._lock:
+            slot = self._slot(self.day_of(time))
+            self._spend[slot] += dollars
+
+    def try_charge(self, time: float, dollars: float) -> bool:
+        """Charge only if the day's remaining budget covers it (atomically).
+
+        Unlike the engine's snapshot-then-charge pattern (which tolerates a
+        bounded overshoot of one in-flight segment per shard), this is the
+        strict reservation primitive: the check and the charge hold the lock
+        together, so concurrent shards can never jointly overspend a day.
+        """
+        if dollars < 0:
+            raise ConfigurationError("cannot charge negative dollars")
+        if self.daily_budget_dollars is None:
+            if dollars:
+                self.charge(time, dollars)
+            return True
+        with self._lock:
+            slot = self._slot(self.day_of(time))
+            if self._spend[slot] + dollars > self.daily_budget_dollars + 1e-12:
+                return False
+            self._spend[slot] += dollars
+            return True
+
+    @property
+    def spend_by_day(self) -> Dict[int, float]:
+        """Snapshot of non-zero day buckets, keyed by absolute day index."""
+        with self._lock:
+            values = list(self._spend)
+        return {
+            self.base_day + slot: value
+            for slot, value in enumerate(values)
+            if value != 0.0
+        }
+
+    @property
+    def total_dollars(self) -> float:
+        """Total spend across every day bucket."""
+        with self._lock:
+            return sum(self._spend)

@@ -1,0 +1,82 @@
+"""Consistent-hash assignment of streams to shard workers.
+
+The :class:`ShardRing` hashes each shard id onto a ring many times (virtual
+nodes) and assigns a stream to the first shard clockwise of the stream's own
+hash.  Two properties matter to the service:
+
+* **determinism** — assignment depends only on the ring membership and the
+  stream id, so a retried job lands on the same shard as long as that shard
+  is alive (locality for any per-shard warm state);
+* **minimal remapping** — removing a dead shard only moves the streams that
+  were on it; every other stream keeps its shard, so one worker crash does
+  not reshuffle the whole fleet.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def _ring_hash(key: str) -> int:
+    """A stable 64-bit position on the ring (md5, not Python's salted hash)."""
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+
+
+class ShardRing:
+    """A consistent-hash ring mapping stream ids to shard ids.
+
+    Args:
+        shard_ids: the member shards (any hashable ints).
+        replicas: virtual nodes per shard; more replicas smooth the load
+            split at the cost of a larger (still tiny) ring.
+    """
+
+    def __init__(self, shard_ids: Sequence[int], replicas: int = 64):
+        if not shard_ids:
+            raise ConfigurationError("a shard ring needs at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ConfigurationError("duplicate shard ids in ring")
+        if replicas < 1:
+            raise ConfigurationError("replicas must be positive")
+        self.replicas = replicas
+        self.shard_ids: Tuple[int, ...] = tuple(shard_ids)
+        points: List[Tuple[int, int]] = []
+        for shard in self.shard_ids:
+            for replica in range(replicas):
+                points.append((_ring_hash(f"shard-{shard}:{replica}"), shard))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._shards = [shard for _, shard in points]
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+    def __contains__(self, shard_id: int) -> bool:
+        return shard_id in self.shard_ids
+
+    def assign(self, stream_id: str) -> int:
+        """The shard owning ``stream_id`` (first ring point clockwise)."""
+        position = bisect.bisect(self._hashes, _ring_hash(str(stream_id)))
+        if position == len(self._hashes):
+            position = 0
+        return self._shards[position]
+
+    def without(self, shard_id: int) -> "ShardRing":
+        """A new ring with ``shard_id`` removed (crash recovery rehash)."""
+        if shard_id not in self.shard_ids:
+            raise ConfigurationError(f"shard {shard_id} is not in the ring")
+        remaining = [shard for shard in self.shard_ids if shard != shard_id]
+        if not remaining:
+            raise ConfigurationError("cannot remove the last shard from the ring")
+        return ShardRing(remaining, replicas=self.replicas)
+
+    def assignment_counts(self, stream_ids: Sequence[str]) -> Dict[int, int]:
+        """How many of ``stream_ids`` each shard owns (balance diagnostics)."""
+        counts = {shard: 0 for shard in self.shard_ids}
+        for stream_id in stream_ids:
+            counts[self.assign(stream_id)] += 1
+        return counts

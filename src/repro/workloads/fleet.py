@@ -20,7 +20,7 @@ of the paper's single-camera train/test split.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.video.content import ContentModel, ContentState
@@ -71,12 +71,15 @@ class FleetStreamSpec:
         system: optional per-stream policy registry name; ``None`` means the
             fleet run's default system.
         buffer_bytes: optional per-stream buffer override.
+        tenant: owning tenant — ignored by the engine, used by the
+            ingestion service for admission control and isolation caps.
     """
 
     stream_id: str
     source: SyntheticVideoSource
     system: Optional[str] = None
     buffer_bytes: Optional[int] = None
+    tenant: str = "default"
 
 
 @dataclass
@@ -100,6 +103,28 @@ class FleetScenario:
     def stream_ids(self) -> List[str]:
         return [spec.stream_id for spec in self.streams]
 
+    def stream(self, stream_id: str) -> FleetStreamSpec:
+        """The spec of one camera by id."""
+        for spec in self.streams:
+            if spec.stream_id == stream_id:
+                return spec
+        raise ConfigurationError(
+            f"scenario {self.name!r} has no stream {stream_id!r}"
+        )
+
+    def subset(self, stream_ids: List[str], name: Optional[str] = None) -> "FleetScenario":
+        """A scenario over a subset of this fleet's cameras, same base setup.
+
+        The sharded ingestion service uses this to hand each worker exactly
+        the cameras of its job batch while preserving every per-stream
+        override (system, buffer, tenant).
+        """
+        return FleetScenario(
+            name=name or f"{self.name}-subset-{len(stream_ids)}",
+            base=self.base,
+            streams=[self.stream(stream_id) for stream_id in stream_ids],
+        )
+
 
 def make_fleet_scenario(
     setup: WorkloadSetup,
@@ -108,6 +133,7 @@ def make_fleet_scenario(
     heterogeneous: bool = False,
     stream_id_prefix: Optional[str] = None,
     name: Optional[str] = None,
+    tenants: Optional[Sequence[str]] = None,
 ) -> FleetScenario:
     """Replicate ``setup``'s stream across ``n_streams`` cameras.
 
@@ -124,11 +150,16 @@ def make_fleet_scenario(
         heterogeneous: give every camera its own content seed.
         stream_id_prefix: prefix of the generated stream ids.
         name: scenario name (defaults to ``"<workload>-fleet-<N>"``).
+        tenants: tenant ids assigned to the cameras round-robin (for the
+            ingestion service's multi-tenant admission control); ``None``
+            puts every camera under the ``"default"`` tenant.
     """
     if n_streams < 1:
         raise ConfigurationError("a fleet scenario needs at least one stream")
     if phase_shift_seconds < 0:
         raise ConfigurationError("phase_shift_seconds must be non-negative")
+    if tenants is not None and not tenants:
+        raise ConfigurationError("tenants must be non-empty when given")
 
     base_source = setup.source
     base_model = base_source.content_model
@@ -152,7 +183,10 @@ def make_fleet_scenario(
         stream_id = f"{prefix}-{index:02d}"
         config = replace(base_source.config, stream_id=stream_id)
         source = SyntheticVideoSource(model, config, size_model=base_source.size_model)
-        streams.append(FleetStreamSpec(stream_id=stream_id, source=source))
+        tenant = tenants[index % len(tenants)] if tenants is not None else "default"
+        streams.append(
+            FleetStreamSpec(stream_id=stream_id, source=source, tenant=tenant)
+        )
     return FleetScenario(
         name=name or f"{setup.workload.name}-fleet-{n_streams}",
         base=setup,

@@ -1,0 +1,28 @@
+"""Shared fixtures for the fleet-ingestion-service tests.
+
+The service spawns real worker processes, so the fixture bundle is sized to
+make each per-test drain cheap: a quarter-day of EV history and a ~3-minute
+online window (~86 segments per stream).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, prepare_bundle
+from repro.workloads.ev import make_ev_setup
+
+
+@pytest.fixture(scope="session")
+def service_bundle():
+    """A deliberately tiny fitted EV bundle for fast service drains."""
+    setup = make_ev_setup(history_days=0.25, online_days=0.002)
+    config = ExperimentConfig(
+        history_days=0.25,
+        online_days=0.002,
+        max_configurations=5,
+        train_forecaster=False,
+        cloud_budget_per_day=2.0,
+        n_categories=3,
+    )
+    return prepare_bundle(setup, config)

@@ -1,0 +1,113 @@
+"""Tests for the service CLI (the cheap, fit-free subcommands).
+
+The ``run`` subcommand needs a fitted bundle, so it is exercised by the CI
+``service-smoke`` job and the benchmark instead of unit tests; here we cover
+the store lifecycle (``submit``/``status``/``requeue``), the scheduler
+listing, and parser validation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.fleet import scheduler_names
+from repro.errors import ConfigurationError
+from repro.service.cli import _parse_injections, main
+from repro.service.jobs import DEAD_LETTER, FAILED, QUEUED, RUNNING, JsonFileJobStore
+
+
+def test_schedulers_lists_the_registry(capsys):
+    assert main(["schedulers"]) == 0
+    printed = capsys.readouterr().out.split()
+    assert printed == scheduler_names()
+    assert "fifo" in printed
+
+
+def test_submit_then_status_roundtrip(tmp_path, capsys):
+    store_path = str(tmp_path / "jobs.json")
+    assert (
+        main(
+            [
+                "submit",
+                "--store",
+                store_path,
+                "--streams",
+                "4",
+                "--smoke",
+                "--tenants",
+                "acme,globex",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["status", "--store", store_path, "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["counts"][QUEUED] == 4
+    assert document["meta"]["workload"] == "ev"
+    assert document["meta"]["streams"] == 4
+
+    store = JsonFileJobStore(store_path)
+    assert {job.tenant_id for job in store.list()} == {"acme", "globex"}
+    # Stream ids match what a later `run` rebuilds from the meta.
+    assert all(job.stream_id.startswith("ev-") for job in store.list())
+
+
+def test_submit_appends_and_rejects_workload_mismatch(tmp_path):
+    store_path = str(tmp_path / "jobs.json")
+    main(["submit", "--store", store_path, "--streams", "2", "--smoke"])
+    main(["submit", "--store", store_path, "--streams", "2", "--smoke"])
+    assert JsonFileJobStore(store_path).meta["streams"] == 4
+    with pytest.raises(ConfigurationError, match="one\\s+workload per store"):
+        main(
+            [
+                "submit",
+                "--store",
+                store_path,
+                "--streams",
+                "1",
+                "--smoke",
+                "--workload",
+                "covid",
+            ]
+        )
+
+
+def test_requeue_all_moves_dlq_back_to_queued(tmp_path, capsys):
+    store_path = str(tmp_path / "jobs.json")
+    main(["submit", "--store", store_path, "--streams", "2", "--smoke"])
+    store = JsonFileJobStore(store_path)
+    job = store.list()[0]
+    job.transition(RUNNING, 1.0)
+    job.transition(FAILED, 2.0)
+    job.error_code = "injected"
+    job.transition(DEAD_LETTER, 3.0)
+    store.update(job)
+
+    capsys.readouterr()
+    assert main(["requeue", "--store", store_path, "--all"]) == 0
+    assert "requeued 1 job(s)" in capsys.readouterr().out
+    reloaded = JsonFileJobStore(store_path)
+    assert reloaded.counts()[DEAD_LETTER] == 0
+    assert reloaded.counts()[QUEUED] == 2
+
+
+def test_requeue_requires_a_target(tmp_path):
+    store_path = str(tmp_path / "jobs.json")
+    main(["submit", "--store", store_path, "--streams", "1", "--smoke"])
+    with pytest.raises(ConfigurationError, match="--job-id or --all"):
+        main(["requeue", "--store", store_path])
+
+
+def test_run_refuses_an_empty_store(tmp_path):
+    with pytest.raises(ConfigurationError, match="submit jobs first"):
+        main(["run", "--store", str(tmp_path / "missing.json")])
+
+
+def test_parse_injections():
+    assert _parse_injections(None) == {}
+    assert _parse_injections("cam-00=2, cam-01=1") == {"cam-00": 2, "cam-01": 1}
+    with pytest.raises(ConfigurationError, match="stream-id=N"):
+        _parse_injections("cam-00")

@@ -1,0 +1,138 @@
+"""Tests for the shared cross-shard daily budget ledger.
+
+The concurrency tests spawn real processes: conservation of the total, no
+double-spend through ``try_charge``, and the atomic day-reset are exactly
+the properties that only matter under true multi-process contention.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.core.engine import SECONDS_PER_DAY
+from repro.errors import ConfigurationError
+from repro.service.ledger import SharedDailyLedger
+
+
+# --------------------------------------------------------------------- #
+# Single-process semantics
+# --------------------------------------------------------------------- #
+def test_charges_bucket_by_day():
+    ledger = SharedDailyLedger(10.0, base_day=0, horizon_days=8)
+    ledger.charge(100.0, 1.5)
+    ledger.charge(SECONDS_PER_DAY + 5.0, 2.0)
+    ledger.charge(SECONDS_PER_DAY + 6.0, 0.5)
+    assert ledger.spent_on(200.0) == pytest.approx(1.5)
+    assert ledger.spent_on(SECONDS_PER_DAY + 99.0) == pytest.approx(2.5)
+    assert ledger.remaining(200.0) == pytest.approx(8.5)
+    assert ledger.spend_by_day == {0: pytest.approx(1.5), 1: pytest.approx(2.5)}
+    assert ledger.total_dollars == pytest.approx(4.0)
+
+
+def test_day_boundary_is_a_fresh_allowance():
+    ledger = SharedDailyLedger(1.0, base_day=0, horizon_days=4)
+    assert ledger.try_charge(SECONDS_PER_DAY - 1.0, 1.0)
+    assert not ledger.try_charge(SECONDS_PER_DAY - 0.5, 0.01)  # day 0 exhausted
+    # One tick later the day rolled over: the full allowance is back.
+    assert ledger.remaining(SECONDS_PER_DAY + 1.0) == pytest.approx(1.0)
+    assert ledger.try_charge(SECONDS_PER_DAY + 1.0, 1.0)
+
+
+def test_unlimited_budget_fast_path():
+    ledger = SharedDailyLedger(None)
+    assert ledger.remaining(123.0) == float("inf")
+    assert ledger.try_charge(123.0, 5.0)
+    assert ledger.total_dollars == pytest.approx(5.0)
+
+
+def test_base_day_offsets_the_horizon():
+    base = SharedDailyLedger.day_of(900 * SECONDS_PER_DAY)
+    ledger = SharedDailyLedger(10.0, base_day=base, horizon_days=2)
+    ledger.charge(900 * SECONDS_PER_DAY + 10.0, 1.0)
+    assert ledger.spend_by_day == {900: pytest.approx(1.0)}
+    with pytest.raises(ConfigurationError, match="horizon"):
+        ledger.charge(10.0, 1.0)  # day 0 is before base_day
+    with pytest.raises(ConfigurationError, match="horizon"):
+        ledger.charge(903 * SECONDS_PER_DAY, 1.0)  # past the horizon
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError, match="non-negative"):
+        SharedDailyLedger(-1.0)
+    with pytest.raises(ConfigurationError, match="horizon_days"):
+        SharedDailyLedger(1.0, horizon_days=0)
+    ledger = SharedDailyLedger(1.0)
+    with pytest.raises(ConfigurationError, match="negative"):
+        ledger.charge(0.0, -0.5)
+    with pytest.raises(ConfigurationError, match="negative"):
+        ledger.try_charge(0.0, -0.5)
+
+
+# --------------------------------------------------------------------- #
+# Multi-process contention (satellite: concurrent charging)
+# --------------------------------------------------------------------- #
+def _charge_worker(ledger, n_charges, dollars, time):
+    for _ in range(n_charges):
+        ledger.charge(time, dollars)
+
+
+def _try_charge_worker(ledger, n_attempts, dollars, time, granted):
+    wins = 0
+    for _ in range(n_attempts):
+        if ledger.try_charge(time, dollars):
+            wins += 1
+    granted.put(wins)
+
+
+def _run_all(processes):
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=60)
+        assert process.exitcode == 0
+
+
+def test_concurrent_charges_conserve_the_total():
+    ledger = SharedDailyLedger(None, base_day=0, horizon_days=4)
+    n_workers, n_charges, dollars = 4, 500, 0.01
+    # Workers split across two days to also exercise bucket independence.
+    _run_all(
+        [
+            multiprocessing.Process(
+                target=_charge_worker,
+                args=(ledger, n_charges, dollars, day * SECONDS_PER_DAY + 1.0),
+            )
+            for worker in range(n_workers)
+            for day in (0, 1)
+        ]
+    )
+    expected_per_day = n_workers * n_charges * dollars
+    assert ledger.spent_on(1.0) == pytest.approx(expected_per_day)
+    assert ledger.spent_on(SECONDS_PER_DAY + 1.0) == pytest.approx(expected_per_day)
+    # Conservation: the day buckets sum exactly to the total.
+    assert sum(ledger.spend_by_day.values()) == pytest.approx(ledger.total_dollars)
+    assert ledger.total_dollars == pytest.approx(2 * expected_per_day)
+
+
+def test_try_charge_never_overspends_under_contention():
+    budget = 1.0
+    ledger = SharedDailyLedger(budget, base_day=0, horizon_days=2)
+    granted = multiprocessing.Queue()
+    n_workers, n_attempts, dollars = 4, 200, 0.01
+    _run_all(
+        [
+            multiprocessing.Process(
+                target=_try_charge_worker,
+                args=(ledger, n_attempts, dollars, 50.0, granted),
+            )
+            for _ in range(n_workers)
+        ]
+    )
+    wins = sum(granted.get(timeout=5) for _ in range(n_workers))
+    # Exactly the budget's worth of grants: demand (4*200*0.01 = 8.0) far
+    # exceeds the budget, and no interleaving may jointly overshoot it.
+    assert wins == int(budget / dollars)
+    assert ledger.total_dollars == pytest.approx(budget)
+    assert ledger.remaining(50.0) == pytest.approx(0.0)

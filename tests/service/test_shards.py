@@ -1,0 +1,56 @@
+"""Tests for the consistent-hash shard ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.shards import ShardRing
+
+STREAMS = [f"ev-traffic-cam-{index:03d}" for index in range(256)]
+
+
+def test_assignment_is_deterministic():
+    a = ShardRing([0, 1, 2, 3])
+    b = ShardRing([0, 1, 2, 3])
+    assert [a.assign(s) for s in STREAMS] == [b.assign(s) for s in STREAMS]
+
+
+def test_every_shard_gets_a_reasonable_share():
+    ring = ShardRing([0, 1, 2, 3])
+    counts = ring.assignment_counts(STREAMS)
+    assert set(counts) == {0, 1, 2, 3}
+    assert sum(counts.values()) == len(STREAMS)
+    # With 64 virtual nodes the split is not exact but nowhere near empty.
+    assert min(counts.values()) >= len(STREAMS) / 4 / 4
+
+
+def test_removing_a_shard_only_moves_its_own_streams():
+    ring = ShardRing([0, 1, 2, 3])
+    before = {stream: ring.assign(stream) for stream in STREAMS}
+    smaller = ring.without(2)
+    for stream in STREAMS:
+        if before[stream] == 2:
+            assert smaller.assign(stream) != 2
+        else:
+            assert smaller.assign(stream) == before[stream]
+
+
+def test_ring_membership_protocol():
+    ring = ShardRing([0, 1])
+    assert len(ring) == 2
+    assert 1 in ring and 5 not in ring
+    assert 1 not in ring.without(1)
+
+
+def test_ring_validation():
+    with pytest.raises(ConfigurationError, match="at least one"):
+        ShardRing([])
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        ShardRing([0, 0])
+    with pytest.raises(ConfigurationError, match="replicas"):
+        ShardRing([0], replicas=0)
+    with pytest.raises(ConfigurationError, match="not in the ring"):
+        ShardRing([0, 1]).without(7)
+    with pytest.raises(ConfigurationError, match="last shard"):
+        ShardRing([0]).without(0)
