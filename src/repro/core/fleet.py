@@ -189,6 +189,12 @@ class FleetStream:
         stream_id: identifier used in results; defaults to the source's.
         buffer_capacity_bytes: the stream's video-buffer size.
         on_overflow: ``"drop"`` or ``"raise"`` (see the engine docs).
+        ledger: optional per-stream budget ledger overriding the engine's
+            shared one — how a fleet plan's per-tenant sub-budgets deploy
+            (see :class:`repro.planning.allocation.TenantSubLedger`, whose
+            charges forward to the shared ledger so fleet-wide accounting
+            stays intact).  Anything that quacks like
+            :class:`DailyBudgetLedger` works.
     """
 
     workload: VETLWorkload
@@ -197,6 +203,7 @@ class FleetStream:
     stream_id: Optional[str] = None
     buffer_capacity_bytes: int = 4_000_000_000
     on_overflow: str = "drop"
+    ledger: Optional[object] = None
 
 
 @dataclass
@@ -371,6 +378,13 @@ class FleetEngine:
             if self.ledger is not None
             else DailyBudgetLedger(self.cloud.daily_budget_dollars)
         )
+        # Streams with their own ledger (per-tenant sub-budgets) charge it
+        # instead of the shared one; sub-ledgers forward to the shared
+        # ledger themselves, so the fleet total stays consistent.
+        stream_ledgers = [
+            stream.ledger if stream.ledger is not None else ledger
+            for stream in streams
+        ]
         loop = EventLoop()
         for session in sessions:
             session.start(start_time, end_time)
@@ -399,14 +413,15 @@ class FleetEngine:
                 # stateful schedulers (round-robin's cursor) must observe
                 # every serve to keep their documented order.
                 chosen = scheduler.select(ready, now)
+                stream_ledger = stream_ledgers[chosen.index]
                 entry = chosen.pending.popleft()
                 finish, cloud_dollars = chosen.execute(
-                    entry, now, self.cluster, ledger.remaining(now)
+                    entry, now, self.cluster, stream_ledger.remaining(now)
                 )
                 # Zero charges are skipped so cloud-free fleets never pay
                 # for a (possibly cross-process) ledger round trip.
                 if cloud_dollars:
-                    ledger.charge(now, cloud_dollars)
+                    stream_ledger.charge(now, cloud_dollars)
                 busy_until = finish
                 loop.schedule(finish, FINISH, chosen, entry.segment.encoded_bytes)
 

@@ -39,6 +39,16 @@ class BufferOverflowError(ReproError):
         )
 
 
+class AdmissionError(ConfigurationError):
+    """Raised when a submission is refused at admission.
+
+    Covers per-tenant queue quotas (the service dispatcher) and joint-
+    planning SLO rejections (:mod:`repro.planning.admission`).  Lives here
+    rather than in the service layer so the planning subsystem can raise it
+    without importing the service package.
+    """
+
+
 class BudgetExceededError(ReproError):
     """Raised when a processing plan would exceed the user's budget."""
 

@@ -371,6 +371,7 @@ class ExperimentRunner:
         keep_traces: bool = False,
         cloud_budget_per_day: Optional[float] = None,
         ledger=None,
+        tenant_ledgers=None,
         **policy_options,
     ) -> FleetResult:
         """Ingest a fleet of streams concurrently over the bundle's window.
@@ -402,6 +403,10 @@ class ExperimentRunner:
         ``ledger`` forwards an external budget ledger to the engine (see
         :class:`~repro.core.fleet.FleetEngine`); the sharded ingestion
         service uses it to fund many engines from one shared daily budget.
+        ``tenant_ledgers`` maps scenario tenant ids to per-tenant budget
+        ledgers (a fleet plan's sub-budgets, see
+        :mod:`repro.planning.allocation`); streams of a mapped tenant
+        charge their tenant's ledger instead of the engine-wide one.
         """
         if (cores is None) == (tier is None):
             raise ConfigurationError("pass exactly one of cores= or tier=")
@@ -486,6 +491,11 @@ class ExperimentRunner:
                     policy=policy,
                     stream_id=spec.stream_id,
                     buffer_capacity_bytes=stream_buffer,
+                    ledger=(
+                        tenant_ledgers.get(spec.tenant)
+                        if tenant_ledgers is not None
+                        else None
+                    ),
                 )
             )
 

@@ -1,0 +1,102 @@
+"""SLO admission control: reject tenants no allocation can satisfy.
+
+A tenant declares a quality SLO (``TenantSpec.min_quality``).  Before the
+fleet plans, the :class:`AdmissionController` asks the simplest sufficient
+question: *if this tenant got the entire cloud budget and every core,
+could its knob planner reach the SLO?*  Quality is monotone in budget, so
+a "no" at maximal generosity is a proof that no feasible allocation works
+— the tenant is rejected at submit time with a classified, non-retryable
+error instead of being admitted and silently starved.
+
+The controller plugs into :class:`repro.service.dispatcher.JobDispatcher`
+as its ``admission`` hook; the raised :class:`SloAdmissionError` carries
+``error_code = "slo_infeasible"``, which ``classify_error`` surfaces so
+rejected submissions dead-letter immediately instead of burning retries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import AdmissionError
+from repro.planning.demand import PlanningProblem
+from repro.planning.tenants import TenantSpec
+
+_EPS = 1e-9
+
+
+class SloAdmissionError(AdmissionError):
+    """A tenant's quality SLO is unreachable at any feasible allocation."""
+
+    #: Stable classification consumed by ``repro.service.jobs.classify_error``.
+    error_code = "slo_infeasible"
+
+    def __init__(self, tenant_id: str, reason: str):
+        super().__init__(f"tenant {tenant_id!r} rejected at admission: {reason}")
+        self.tenant_id = tenant_id
+        self.reason = reason
+
+
+class AdmissionController:
+    """Decides, per tenant, whether any feasible allocation meets the SLO.
+
+    Args:
+        problem: the planning problem covering every candidate tenant.
+    """
+
+    def __init__(self, problem: PlanningProblem):
+        self.problem = problem
+        self._rejections: Optional[Dict[str, str]] = None
+
+    def rejections(self) -> Dict[str, str]:
+        """Rejected tenant ids mapped to a human-readable reason."""
+        if self._rejections is None:
+            self._rejections = {}
+            for spec in self.problem.tenants:
+                reason = self._rejection_reason(spec)
+                if reason is not None:
+                    self._rejections[spec.tenant_id] = reason
+        return self._rejections
+
+    def admitted(self) -> List[TenantSpec]:
+        """Tenants that pass admission, in problem order."""
+        rejected = self.rejections()
+        return [
+            spec
+            for spec in self.problem.tenants
+            if spec.tenant_id not in rejected
+        ]
+
+    def check(self, tenant_id: str) -> None:
+        """Dispatcher hook: raise for rejected tenants, pass otherwise.
+
+        Tenants the planning problem does not know about pass through —
+        admission only governs what it has a demand curve for (quota checks
+        still apply downstream).
+        """
+        reason = self.rejections().get(tenant_id)
+        if reason is not None:
+            raise SloAdmissionError(tenant_id, reason)
+
+    def _rejection_reason(self, spec: TenantSpec) -> Optional[str]:
+        demand = self.problem.demands.get(spec.tenant_id)
+        if demand is None or not demand.feasible:
+            return (
+                "no feasible allocation exists at any candidate budget "
+                "(the knob planner cannot afford its cheapest configuration)"
+            )
+        # Maximal generosity: the whole budget and every core.
+        best = self.problem.quality_at(
+            spec, self.problem.cores, self.problem.cloud_budget_per_day
+        )
+        if best is None:
+            best = demand.best_quality
+        best = max(best, demand.best_quality)
+        if best + _EPS < spec.min_quality:
+            return (
+                f"best achievable quality {best:.4f} is below the "
+                f"min_quality SLO {spec.min_quality:.4f} even with the full "
+                f"budget (${self.problem.cloud_budget_per_day:.2f}/day) and "
+                f"all {self.problem.cores:g} cores"
+            )
+        return None

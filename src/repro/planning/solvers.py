@@ -1,0 +1,381 @@
+"""The fleet-planner solver ladder: per_stream → greedy → knapsack → lp.
+
+Every planner consumes a :class:`repro.planning.demand.PlanningProblem` and
+returns a :class:`repro.planning.allocation.FleetPlan` whose objective is
+the stream-weighted mean expected quality.  The ladder is ordered by
+construction, not by hope: the knapsack rung also solves the greedy rung
+and returns whichever plan scores higher, and the LP rung does the same
+with the knapsack plan — so ``greedy <= knapsack <= lp`` holds on every
+instance, while each rung still showcases its own algorithm on the
+instances where it wins.
+
+* ``per_stream`` — the paper's baseline posture: every tenant gets a share
+  of cores and dollars proportional to its stream count, i.e. what you get
+  when each stream plans independently against an equal slice.  Ignores
+  weights, cost ratios and forecast differences entirely.
+* ``greedy`` — marginal-utility ascent: cores stay proportional, each
+  tenant starts at its cheapest feasible budget level, then the budget
+  upgrade with the best weighted quality-per-dollar ratio is applied until
+  the budget runs out.
+* ``knapsack`` — multiple-choice 0-1 knapsack (via
+  :func:`repro.ml.knapsack.greedy_knapsack`) over the budget levels of each
+  candidate core split, best split wins.
+* ``lp`` — the joint linear program over the full option grid: pick a
+  convex combination of options per tenant, subject to the shared dollar
+  and core capacity constraints.  Since quality is concave in budget, the
+  expected allocation of the LP solution is deployable at no loss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.errors import ConfigurationError, PlanningError
+from repro.ml.knapsack import KnapsackItem, greedy_knapsack
+from repro.ml.linear_program import LinearProgram
+from repro.planning.allocation import FleetPlan, allocations_from_choices
+from repro.planning.demand import AllocationOption, PlanningProblem
+
+_EPS = 1e-9
+
+
+class FleetPlanner(Protocol):
+    """Anything that turns a planning problem into a fleet plan."""
+
+    name: str
+
+    def plan(self, problem: PlanningProblem) -> FleetPlan:
+        """Allocate the problem's budget and cores across its tenants."""
+        ...
+
+
+_PLANNERS: Dict[str, Callable[[], FleetPlanner]] = {}
+
+
+def register_planner(name: str):
+    """Class decorator registering a planner under ``name``."""
+
+    def decorate(cls):
+        if name in _PLANNERS:
+            raise ConfigurationError(f"planner {name!r} already registered")
+        cls.name = name
+        _PLANNERS[name] = cls
+        return cls
+
+    return decorate
+
+
+def planner_names() -> List[str]:
+    """Registered planner names (the CLI ``--planner`` choices)."""
+    return sorted(_PLANNERS)
+
+
+def make_planner(name: str) -> FleetPlanner:
+    """Instantiate the planner registered under ``name``."""
+    factory = _PLANNERS.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown planner {name!r}; available: {planner_names()}"
+        )
+    return factory()
+
+
+def _feasible_levels(
+    problem: PlanningProblem, spec, cores: float
+) -> List[AllocationOption]:
+    """The tenant's feasible options at fixed ``cores``, by ascending cost."""
+    options = []
+    for dollars in problem.budget_levels:
+        option = problem.option_at(spec, cores, dollars)
+        if option is not None:
+            options.append(option)
+    return options
+
+
+@register_planner("per_stream")
+class PerStreamPlanner:
+    """Independent per-stream planning: proportional shares for everyone."""
+
+    def plan(self, problem: PlanningProblem) -> FleetPlan:
+        """Give every tenant its stream-proportional core and dollar slice."""
+        total_streams = problem.total_streams
+        chosen: Dict[str, AllocationOption] = {}
+        for spec in problem.tenants:
+            share = spec.n_streams / total_streams
+            cores = problem.cores * share
+            dollars = problem.cloud_budget_per_day * share
+            option = problem.option_at(spec, cores, dollars)
+            if option is None:
+                raise PlanningError(
+                    f"tenant {spec.tenant_id!r} is infeasible at its "
+                    "proportional share; run admission control before "
+                    "per-stream planning"
+                )
+            chosen[spec.tenant_id] = option
+        return allocations_from_choices(self.name, problem, chosen)
+
+
+@register_planner("greedy")
+class GreedyMarginalUtilityPlanner:
+    """Marginal-utility ascent over budget levels at proportional cores."""
+
+    def plan(self, problem: PlanningProblem) -> FleetPlan:
+        """Ascend from the cheapest feasible levels by best quality-per-dollar."""
+        split = problem.core_splits["proportional"]
+        levels: Dict[str, List[AllocationOption]] = {}
+        current: Dict[str, int] = {}
+        for spec in problem.tenants:
+            feasible = _feasible_levels(problem, spec, split[spec.tenant_id])
+            if not feasible:
+                raise PlanningError(
+                    f"tenant {spec.tenant_id!r} has no feasible budget level; "
+                    "run admission control before greedy planning"
+                )
+            levels[spec.tenant_id] = feasible
+            current[spec.tenant_id] = 0
+
+        def spent() -> float:
+            return sum(
+                levels[tenant_id][index].cloud_dollars_per_day
+                for tenant_id, index in current.items()
+            )
+
+        if spent() > problem.cloud_budget_per_day + _EPS:
+            raise PlanningError(
+                "even the cheapest feasible allocation per tenant exceeds "
+                f"the shared budget (${spent():.3f} > "
+                f"${problem.cloud_budget_per_day:.3f}/day)"
+            )
+
+        while True:
+            budget_left = problem.cloud_budget_per_day - spent()
+            best: Optional[Tuple[float, str, int]] = None
+            for spec in problem.tenants:
+                tenant_levels = levels[spec.tenant_id]
+                here = tenant_levels[current[spec.tenant_id]]
+                for index in range(
+                    current[spec.tenant_id] + 1, len(tenant_levels)
+                ):
+                    upgrade = tenant_levels[index]
+                    extra = (
+                        upgrade.cloud_dollars_per_day
+                        - here.cloud_dollars_per_day
+                    )
+                    gain = upgrade.quality - here.quality
+                    if extra <= _EPS or gain <= _EPS:
+                        continue
+                    if extra > budget_left + _EPS:
+                        continue
+                    ratio = spec.total_weight * gain / extra
+                    if best is None or ratio > best[0]:
+                        best = (ratio, spec.tenant_id, index)
+            if best is None:
+                break
+            _, tenant_id, index = best
+            current[tenant_id] = index
+
+        chosen = {
+            tenant_id: levels[tenant_id][index]
+            for tenant_id, index in current.items()
+        }
+        return allocations_from_choices(self.name, problem, chosen)
+
+
+@register_planner("knapsack")
+class KnapsackPlanner:
+    """Multiple-choice knapsack over budget levels, best core split wins.
+
+    Internally also runs the greedy rung and keeps the better plan, so the
+    ladder ordering ``greedy <= knapsack`` holds by construction.
+    """
+
+    def plan(self, problem: PlanningProblem) -> FleetPlan:
+        """Solve a knapsack per core split and keep the best candidate plan."""
+        candidates: List[FleetPlan] = []
+        for split in problem.core_splits.values():
+            items: List[KnapsackItem] = []
+            covered = set()
+            for spec in problem.tenants:
+                feasible = _feasible_levels(
+                    problem, spec, split[spec.tenant_id]
+                )
+                if feasible:
+                    covered.add(spec.tenant_id)
+                for option in feasible:
+                    items.append(
+                        KnapsackItem(
+                            key=spec.tenant_id,
+                            option=option,
+                            value=spec.total_weight * option.quality,
+                            cost=option.cloud_dollars_per_day,
+                        )
+                    )
+            if covered != {spec.tenant_id for spec in problem.tenants}:
+                continue  # this split starves a tenant entirely
+            choices, _, total_cost = greedy_knapsack(
+                items, problem.cloud_budget_per_day
+            )
+            if total_cost > problem.cloud_budget_per_day + _EPS:
+                continue  # cheapest-per-tenant baseline already over budget
+            chosen = {key: item.option for key, item in choices.items()}
+            plan = allocations_from_choices(self.name, problem, chosen)
+            candidates.append(plan)
+        try:
+            greedy = make_planner("greedy").plan(problem)
+        except PlanningError:
+            greedy = None
+        if greedy is not None:
+            candidates.append(
+                FleetPlan(
+                    planner=self.name,
+                    allocations=greedy.allocations,
+                    objective=greedy.objective,
+                    cloud_budget_per_day=greedy.cloud_budget_per_day,
+                    cores=greedy.cores,
+                )
+            )
+        if not candidates:
+            raise PlanningError(
+                "no core split admits a within-budget knapsack plan"
+            )
+        return max(candidates, key=lambda plan: plan.objective)
+
+
+@register_planner("lp")
+class JointLpPlanner:
+    """Joint LP over the full option grid under both capacity constraints.
+
+    The LP relaxes "pick one option per tenant" to a convex combination;
+    because every knapsack solution is a feasible LP point over the same
+    grid, and the knapsack plan is kept as a fallback candidate, the ladder
+    ordering ``knapsack <= lp`` holds by construction.
+    """
+
+    def plan(self, problem: PlanningProblem) -> FleetPlan:
+        """Solve the joint LP, falling back to the knapsack plan if better."""
+        candidates: List[FleetPlan] = []
+        lp_plan = self._solve_lp(problem)
+        if lp_plan is not None:
+            candidates.append(lp_plan)
+        try:
+            knapsack = make_planner("knapsack").plan(problem)
+        except PlanningError:
+            knapsack = None
+        if knapsack is not None:
+            candidates.append(
+                FleetPlan(
+                    planner=self.name,
+                    allocations=knapsack.allocations,
+                    objective=knapsack.objective,
+                    cloud_budget_per_day=knapsack.cloud_budget_per_day,
+                    cores=knapsack.cores,
+                )
+            )
+        if not candidates:
+            raise PlanningError(
+                "the joint LP is infeasible and no knapsack fallback exists"
+            )
+        return max(candidates, key=lambda plan: plan.objective)
+
+    def _solve_lp(self, problem: PlanningProblem) -> Optional[FleetPlan]:
+        lp = LinearProgram()
+        option_lists: Dict[str, List[AllocationOption]] = {}
+        dollar_coefficients: Dict = {}
+        core_coefficients: Dict = {}
+        for spec in problem.tenants:
+            options = problem.demands[spec.tenant_id].options
+            if not options:
+                return None
+            option_lists[spec.tenant_id] = options
+            for index, option in enumerate(options):
+                key = ("x", spec.tenant_id, index)
+                lp.add_variable(
+                    key,
+                    objective=spec.total_weight * option.quality,
+                    lower=0.0,
+                    upper=1.0,
+                )
+                dollar_coefficients[key] = option.cloud_dollars_per_day
+                core_coefficients[key] = option.cores
+            lp.add_constraint_eq(
+                {
+                    ("x", spec.tenant_id, index): 1.0
+                    for index in range(len(options))
+                },
+                1.0,
+            )
+        lp.add_constraint_le(dollar_coefficients, problem.cloud_budget_per_day)
+        lp.add_constraint_le(core_coefficients, problem.cores)
+        try:
+            solution = lp.solve()
+        except PlanningError:
+            return None
+
+        chosen: Dict[str, AllocationOption] = {}
+        for spec in problem.tenants:
+            options = option_lists[spec.tenant_id]
+            fractions = [
+                max(solution[("x", spec.tenant_id, index)], 0.0)
+                for index in range(len(options))
+            ]
+            mass = sum(fractions)
+            if mass <= 0:
+                return None
+            fractions = [fraction / mass for fraction in fractions]
+            cores = sum(
+                fraction * option.cores
+                for fraction, option in zip(fractions, options)
+            )
+            dollars = sum(
+                fraction * option.cloud_dollars_per_day
+                for fraction, option in zip(fractions, options)
+            )
+            quality = sum(
+                fraction * option.quality
+                for fraction, option in zip(fractions, options)
+            )
+            chosen[spec.tenant_id] = AllocationOption(
+                cores=cores,
+                cloud_dollars_per_day=dollars,
+                budget_core_seconds_per_segment=problem.budget_for(
+                    spec, cores, dollars
+                ),
+                quality=quality,
+            )
+        return allocations_from_choices(self.name, problem, chosen)
+
+
+def solve_ladder(
+    problem: PlanningProblem,
+    planners: Sequence[str] = ("per_stream", "greedy", "knapsack", "lp"),
+) -> Dict[str, FleetPlan]:
+    """Run several planners on one problem (figure and bench helper)."""
+    return {name: make_planner(name).plan(problem) for name in planners}
+
+
+def plan_fleet(problem: PlanningProblem, planner: str = "lp") -> FleetPlan:
+    """Admission-checked planning: reject SLO-infeasible tenants, then solve.
+
+    Returns a plan over the admitted tenants with the rejected tenants (and
+    reasons) recorded on ``plan.rejected``.
+    """
+    from repro.planning.admission import AdmissionController
+
+    controller = AdmissionController(problem)
+    rejected = controller.rejections()
+    admitted = [
+        spec.tenant_id
+        for spec in problem.tenants
+        if spec.tenant_id not in rejected
+    ]
+    if not admitted:
+        raise PlanningError(
+            "admission control rejected every tenant: "
+            + "; ".join(f"{k}: {v}" for k, v in sorted(rejected.items()))
+        )
+    admitted_problem = (
+        problem if not rejected else problem.restricted(admitted)
+    )
+    plan = make_planner(planner).plan(admitted_problem)
+    plan.rejected = dict(rejected)
+    return plan

@@ -24,6 +24,7 @@ from repro.core.fleet import scheduler_names
 from repro.errors import ConfigurationError
 from repro.experiments.results import ExperimentTable
 from repro.figures.context import BundleProvider, make_setup
+from repro.planning.solvers import planner_names
 from repro.service.dispatcher import JobDispatcher
 from repro.service.jobs import DEAD_LETTER, JOB_STATES, JsonFileJobStore
 from repro.service.service import (
@@ -89,6 +90,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         buffer_bytes=args.buffer_bytes,
         retry=RetryPolicy(max_retries=args.max_retries),
         collect_lags=True,
+        planner=args.planner,
     )
     if args.store:
         store = JsonFileJobStore(args.store)
@@ -264,6 +266,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-retries", type=int, default=3)
     run.add_argument("--phase-shift-seconds", type=float, default=60.0)
     run.add_argument("--tenants", default=None, help="comma list, round-robin")
+    run.add_argument(
+        "--planner",
+        default=None,
+        choices=planner_names(),
+        help="joint fleet planner: allocate the shared budget/cores across "
+        "tenants and enforce per-tenant sub-budgets",
+    )
     run.add_argument("--smoke", action="store_true", help="CI-sized windows")
     run.add_argument("--timeout", type=float, default=600.0)
     run.add_argument("--json", action="store_true", help="machine-readable report")

@@ -13,9 +13,9 @@ eligible, keeping admission policy in one testable place.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import AdmissionError, ConfigurationError
 from repro.service.jobs import (
     DEAD_LETTER,
     QUEUED,
@@ -24,9 +24,9 @@ from repro.service.jobs import (
     JobStore,
 )
 
-
-class AdmissionError(ConfigurationError):
-    """Raised when a tenant's submission exceeds its admission quota."""
+# Re-exported for backwards compatibility: admission failures were defined
+# here before the joint planner needed to raise them from repro.planning.
+__all__ = ["AdmissionError", "JobDispatcher", "TenantQuota"]
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,11 @@ class JobDispatcher:
         store: the job store shared with the service.
         quotas: per-tenant quota overrides, by tenant id.
         default_quota: quota applied to tenants without an override.
+        admission: optional hook called with the tenant id before quota
+            checks; raising :class:`AdmissionError` (or a subclass, e.g.
+            the planner's SLO check) vetoes the submission.  The service
+            installs :meth:`repro.planning.admission.AdmissionController.check`
+            here when a fleet planner is configured.
     """
 
     def __init__(
@@ -58,10 +63,12 @@ class JobDispatcher:
         store: JobStore,
         quotas: Optional[Dict[str, TenantQuota]] = None,
         default_quota: TenantQuota = TenantQuota(),
+        admission: Optional[Callable[[str], None]] = None,
     ):
         self.store = store
         self.quotas = dict(quotas or {})
         self.default_quota = default_quota
+        self.admission = admission
 
     def quota_for(self, tenant_id: str) -> TenantQuota:
         """The quota governing ``tenant_id``."""
@@ -81,7 +88,9 @@ class JobDispatcher:
         now: float = 0.0,
         job_id: Optional[str] = None,
     ) -> IngestionJob:
-        """Admit one stream-ingestion job, enforcing the tenant's queue cap."""
+        """Admit one stream-ingestion job, enforcing admission and queue caps."""
+        if self.admission is not None:
+            self.admission(tenant_id)
         quota = self.quota_for(tenant_id)
         if quota.max_queued is not None:
             queued = len(self.store.list(status=QUEUED, tenant_id=tenant_id))

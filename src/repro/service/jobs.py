@@ -66,7 +66,7 @@ VALID_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
 RETRYABLE_CODES = ("worker_crash", "injected", "overflow", "runtime", "resource")
 
 #: Error codes that go straight to the dead-letter queue.
-NON_RETRYABLE_CODES = ("config", "not_fitted", "planning")
+NON_RETRYABLE_CODES = ("config", "not_fitted", "planning", "slo_infeasible")
 
 
 class InjectedFaultError(ReproError):
@@ -79,7 +79,15 @@ def classify_error(error: BaseException) -> str:
     Configuration-shaped errors are permanent — retrying an invalid request
     can never succeed, so they classify as non-retryable codes; everything
     else is assumed transient.
+
+    An exception may carry its own classification via a string
+    ``error_code`` attribute (e.g. the fleet planner's SLO admission error,
+    which cannot be imported here without a cycle); that self-classification
+    wins over the type-based mapping below.
     """
+    own_code = getattr(error, "error_code", None)
+    if isinstance(own_code, str) and own_code:
+        return own_code
     if isinstance(error, InjectedFaultError):
         return "injected"
     if isinstance(error, BufferOverflowError):

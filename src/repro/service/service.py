@@ -32,6 +32,11 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.results import jain_fairness_index
 from repro.experiments.runner import SystemBundle
+from repro.planning.admission import AdmissionController
+from repro.planning.allocation import FleetPlan, build_tenant_ledgers
+from repro.planning.demand import build_problem_from_skyscraper, derive_tenant_specs
+from repro.planning.solvers import make_planner
+from repro.planning.tenants import TenantSpec
 from repro.service.dispatcher import JobDispatcher, TenantQuota
 from repro.service.jobs import (
     DEAD_LETTER,
@@ -91,7 +96,14 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Service-wide knobs: shard count, per-shard hardware, retry policy."""
+    """Service-wide knobs: shard count, per-shard hardware, retry policy.
+
+    ``planner`` names a registered fleet planner
+    (:func:`repro.planning.planner_names`); when set, ``submit_fleet``
+    solves a joint budget/core allocation over the scenario's tenants,
+    rejects SLO-infeasible tenants at admission, and ``run`` enforces the
+    resulting per-tenant sub-budgets on every shard.
+    """
 
     n_shards: int = 2
     system: str = "static"
@@ -104,6 +116,7 @@ class ServiceConfig:
     max_batch_size: Optional[int] = None
     poll_seconds: float = 0.01
     ledger_horizon_days: int = 4096
+    planner: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -159,6 +172,10 @@ class ServiceReport:
     dead_letter: List[Dict[str, Any]]
     lag_samples: List[float] = field(default_factory=list)
     jain_fairness: float = 1.0
+    planner: Optional[str] = None
+    plan: Optional[Dict[str, Any]] = None
+    rejected_tenants: List[Dict[str, str]] = field(default_factory=list)
+    tenant_spend: Dict[str, float] = field(default_factory=dict)
 
     @property
     def drop_rate(self) -> float:
@@ -200,6 +217,13 @@ class ServiceReport:
             "shards": [stats.as_dict() for stats in self.shard_stats],
             "crashed_shards": list(self.crashed_shards),
             "dead_letter": list(self.dead_letter),
+            "planner": self.planner,
+            "plan": self.plan,
+            "rejected_tenants": list(self.rejected_tenants),
+            "tenant_spend": {
+                tenant: round(dollars, 6)
+                for tenant, dollars in sorted(self.tenant_spend.items())
+            },
         }
 
 
@@ -221,6 +245,10 @@ class FleetIngestionService:
             :class:`~repro.service.jobs.JsonFileJobStore` to compose with
             the CLI across processes).
         quotas: per-tenant admission/isolation caps.
+        tenant_specs: per-tenant planning overrides (weight, ``min_quality``
+            SLO, cost ratio, forecast), keyed by tenant id — consulted when
+            ``config.planner`` is set; stream counts always come from the
+            submitted scenario.
 
     Typical use::
 
@@ -235,12 +263,16 @@ class FleetIngestionService:
         config: ServiceConfig = ServiceConfig(),
         store: Optional[JobStore] = None,
         quotas: Optional[Dict[str, TenantQuota]] = None,
+        tenant_specs: Optional[Dict[str, TenantSpec]] = None,
     ):
         self.bundle = bundle
         self.config = config
         self.store = store if store is not None else InMemoryJobStore()
         self.dispatcher = JobDispatcher(self.store, quotas=quotas)
         self.scenario: Optional[FleetScenario] = None
+        self.tenant_specs = dict(tenant_specs or {})
+        self.fleet_plan: Optional[FleetPlan] = None
+        self.tenant_ledgers: Optional[Dict[str, Any]] = None
         budget = (
             config.cloud_budget_per_day
             if config.cloud_budget_per_day is not None
@@ -302,6 +334,8 @@ class FleetIngestionService:
                 tenants=tenants,
             )
         self.attach_scenario(scenario)
+        if self.config.planner is not None:
+            self._plan_fleet(scenario)
         submitted_at = time.time() if now is None else now
         retries = self.config.retry.max_retries if max_retries is None else max_retries
         injections = inject_failures or {}
@@ -310,8 +344,14 @@ class FleetIngestionService:
             raise ConfigurationError(
                 f"inject_failures names unknown streams: {sorted(unknown)}"
             )
+        rejected = self.fleet_plan.rejected if self.fleet_plan is not None else {}
         jobs = []
         for index, spec in enumerate(scenario.streams):
+            if spec.tenant in rejected:
+                # The admission hook would raise; rejected tenants simply
+                # get no jobs, and the rejection (with reason) lands in the
+                # service report.
+                continue
             jobs.append(
                 self.dispatcher.submit(
                     stream_id=spec.stream_id,
@@ -324,6 +364,64 @@ class FleetIngestionService:
                 )
             )
         return jobs
+
+    # ------------------------------------------------------------------ #
+    # Joint planning and admission
+    # ------------------------------------------------------------------ #
+    def _plan_fleet(self, scenario: FleetScenario) -> None:
+        """Solve the joint allocation over the scenario's tenants.
+
+        Builds the planning problem from the bundle's fitted system (stream
+        counts observed from the scenario, weights/SLOs/cost-ratios from
+        ``tenant_specs``), rejects SLO-infeasible tenants, installs the
+        admission hook on the dispatcher, and keeps the winning plan for
+        ``run`` to deploy as per-tenant sub-budgets.
+        """
+        budget = self.ledger.daily_budget_dollars
+        if budget is None:
+            raise ConfigurationError(
+                "a fleet planner needs a finite cloud budget; set "
+                "cloud_budget_per_day on the service or bundle config"
+            )
+        counts: Dict[str, int] = {}
+        for spec in scenario.streams:
+            counts[spec.tenant] = counts.get(spec.tenant, 0) + 1
+        tenants = derive_tenant_specs(counts, overrides=self.tenant_specs)
+        problem = build_problem_from_skyscraper(
+            self.bundle.skyscraper,
+            tenants,
+            cloud_budget_per_day=budget,
+            cores=self.config.cores_per_shard * self.config.n_shards,
+            segment_seconds=self.bundle.setup.source.segment_seconds,
+        )
+        controller = AdmissionController(problem)
+        rejected = controller.rejections()
+        self.dispatcher.admission = controller.check
+        admitted = [
+            spec.tenant_id
+            for spec in problem.tenants
+            if spec.tenant_id not in rejected
+        ]
+        if not admitted:
+            raise ConfigurationError(
+                "admission control rejected every tenant: "
+                + "; ".join(f"{k}: {v}" for k, v in sorted(rejected.items()))
+            )
+        admitted_problem = (
+            problem if not rejected else problem.restricted(admitted)
+        )
+        plan = make_planner(self.config.planner).plan(admitted_problem)
+        plan.rejected = dict(rejected)
+        self.fleet_plan = plan
+        self.tenant_ledgers = build_tenant_ledgers(
+            plan,
+            self.ledger,
+            tracker_factory=lambda cap: SharedDailyLedger(
+                cap,
+                base_day=self.ledger.base_day,
+                horizon_days=self.ledger.horizon_days,
+            ),
+        )
 
     # ------------------------------------------------------------------ #
     # The drain loop
@@ -394,6 +492,7 @@ class FleetIngestionService:
                     self.ledger,
                     inbox,
                     results,
+                    self.tenant_ledgers,
                 ),
                 daemon=True,
                 name=f"fleet-shard-{shard}",
@@ -653,4 +752,24 @@ class FleetIngestionService:
             ],
             lag_samples=lags,
             jain_fairness=jain_fairness_index(served),
+            planner=self.config.planner,
+            plan=(
+                self.fleet_plan.as_dict() if self.fleet_plan is not None else None
+            ),
+            rejected_tenants=(
+                [
+                    {"tenant_id": tenant, "reason": reason}
+                    for tenant, reason in sorted(self.fleet_plan.rejected.items())
+                ]
+                if self.fleet_plan is not None
+                else []
+            ),
+            tenant_spend=(
+                {
+                    tenant: ledger.total_dollars
+                    for tenant, ledger in self.tenant_ledgers.items()
+                }
+                if self.tenant_ledgers is not None
+                else {}
+            ),
         )

@@ -75,8 +75,14 @@ def run_batch(
     ledger: SharedDailyLedger,
     config: WorkerConfig,
     batch: List[JobAssignment],
+    tenant_ledgers: Optional[Dict[str, object]] = None,
 ) -> List[JobOutcome]:
-    """Execute one batch of assignments through one joint fleet run."""
+    """Execute one batch of assignments through one joint fleet run.
+
+    ``tenant_ledgers`` maps tenant ids to per-tenant budget ledgers (the
+    deployed fleet plan's sub-budgets); streams of mapped tenants charge
+    their tenant's capped ledger instead of the shard-wide shared one.
+    """
     outcomes: List[JobOutcome] = []
     live: List[JobAssignment] = []
     for assignment in batch:
@@ -116,6 +122,7 @@ def run_batch(
             cloud_budget_per_day=config.cloud_budget_per_day,
             keep_traces=config.collect_lags,
             ledger=ledger,
+            tenant_ledgers=tenant_ledgers,
         )
     except Exception as error:  # engine-level failure fails the whole batch
         code = classify_error(error)
@@ -170,8 +177,14 @@ def worker_main(
     ledger: SharedDailyLedger,
     inbox: "queue.Queue",
     results: "queue.Queue",
+    tenant_ledgers: Optional[Dict[str, object]] = None,
 ) -> None:
-    """Worker process entry point: serve batches until ``stop`` (or EOF)."""
+    """Worker process entry point: serve batches until ``stop`` (or EOF).
+
+    ``tenant_ledgers`` (per-tenant capped sub-ledgers of ``ledger``, built
+    from a fleet plan) must be picklable shared-memory ledgers — every
+    shard enforces the same tenant caps.
+    """
     runner = ExperimentRunner(bundle)
     while True:
         try:
@@ -181,5 +194,7 @@ def worker_main(
         if message[0] == MSG_STOP:
             return
         _, batch_id, batch = message
-        outcomes = run_batch(runner, scenario, ledger, config, batch)
+        outcomes = run_batch(
+            runner, scenario, ledger, config, batch, tenant_ledgers=tenant_ledgers
+        )
         results.put((MSG_BATCH_DONE, config.shard_id, batch_id, outcomes))

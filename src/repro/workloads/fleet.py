@@ -20,7 +20,7 @@ of the paper's single-camera train/test split.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.video.content import ContentModel, ContentState
@@ -189,6 +189,81 @@ def make_fleet_scenario(
         )
     return FleetScenario(
         name=name or f"{setup.workload.name}-fleet-{n_streams}",
+        base=setup,
+        streams=streams,
+    )
+
+
+def make_multi_tenant_scenario(
+    setup: WorkloadSetup,
+    streams_per_tenant: Union[Mapping[str, int], Sequence[Tuple[str, int]]],
+    phase_shift_seconds: float = 3_600.0,
+    heterogeneous: bool = True,
+    name: Optional[str] = None,
+) -> FleetScenario:
+    """A fleet of tenant-owned camera groups over one workload setup.
+
+    The joint-planning companion of :func:`make_fleet_scenario`: instead of
+    spreading tenants round-robin over anonymous cameras, each tenant owns a
+    contiguous, named block of cameras (``"<tenant>-00"``, …), sized by
+    ``streams_per_tenant``.  Cameras are phase-shifted and (by default)
+    re-seeded by their *global* index, so tenants see genuinely different
+    sample paths of the same content process — the heterogeneity that makes
+    a joint budget allocation non-trivial.
+
+    Args:
+        setup: the base workload setup shared by every tenant.
+        streams_per_tenant: tenant id -> number of cameras (a mapping, or
+            ordered ``(tenant, count)`` pairs; mapping iteration order is
+            preserved).
+        phase_shift_seconds: per-camera (global-index) content time offset.
+        heterogeneous: give every camera beyond the first its own seed.
+        name: scenario name (defaults to ``"<workload>-tenants-<T>x<N>"``).
+    """
+    pairs = (
+        list(streams_per_tenant.items())
+        if isinstance(streams_per_tenant, Mapping)
+        else list(streams_per_tenant)
+    )
+    if not pairs:
+        raise ConfigurationError("streams_per_tenant must name at least one tenant")
+    seen = set()
+    for tenant, count in pairs:
+        if not tenant:
+            raise ConfigurationError("tenant ids must be non-empty")
+        if tenant in seen:
+            raise ConfigurationError(f"duplicate tenant {tenant!r}")
+        seen.add(tenant)
+        if count < 1:
+            raise ConfigurationError(
+                f"tenant {tenant!r} needs at least one stream, got {count}"
+            )
+
+    total = sum(count for _, count in pairs)
+    fleet = make_fleet_scenario(
+        setup,
+        total,
+        phase_shift_seconds=phase_shift_seconds,
+        heterogeneous=heterogeneous,
+    )
+    streams: List[FleetStreamSpec] = []
+    cursor = 0
+    for tenant, count in pairs:
+        for local_index in range(count):
+            spec = fleet.streams[cursor]
+            stream_id = f"{tenant}-{local_index:02d}"
+            config = replace(spec.source.config, stream_id=stream_id)
+            source = SyntheticVideoSource(
+                spec.source.content_model,
+                config,
+                size_model=spec.source.size_model,
+            )
+            streams.append(
+                FleetStreamSpec(stream_id=stream_id, source=source, tenant=tenant)
+            )
+            cursor += 1
+    return FleetScenario(
+        name=name or f"{setup.workload.name}-tenants-{len(pairs)}x{total}",
         base=setup,
         streams=streams,
     )

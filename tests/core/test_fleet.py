@@ -22,6 +22,7 @@ from repro.workloads.base import WorkloadSetup
 from repro.workloads.fleet import (
     PhaseShiftedContentModel,
     make_fleet_scenario,
+    make_multi_tenant_scenario,
 )
 
 SECONDS_PER_DAY = 86_400.0
@@ -404,6 +405,45 @@ class TestFleetScenario:
             make_fleet_scenario(covid_setup, 2, phase_shift_seconds=-1.0)
         with pytest.raises(ConfigurationError):
             PhaseShiftedContentModel(covid_setup.source.content_model, -5.0)
+
+
+class TestMultiTenantScenario:
+    def test_tenant_blocks_are_contiguous_and_named(self, covid_setup):
+        scenario = make_multi_tenant_scenario(covid_setup, {"gold": 2, "silver": 3})
+        assert scenario.n_streams == 5
+        assert [spec.tenant for spec in scenario.streams] == (
+            ["gold"] * 2 + ["silver"] * 3
+        )
+        assert scenario.stream_ids() == [
+            "gold-00", "gold-01", "silver-00", "silver-01", "silver-02",
+        ]
+        assert scenario.name == f"{covid_setup.workload.name}-tenants-2x5"
+
+    def test_global_phase_shift_spans_tenant_blocks(self, covid_setup):
+        scenario = make_multi_tenant_scenario(
+            covid_setup,
+            [("a", 1), ("b", 1)],
+            phase_shift_seconds=3_600.0,
+            heterogeneous=False,
+        )
+        # Tenant b's first camera is global camera 1: shifted, not a clone.
+        model = scenario.streams[1].source.content_model
+        expected = covid_setup.source.content_model.state_at(1_000.0 + 3_600.0)
+        assert model.state_at(1_000.0).activity == expected.activity
+
+    def test_stream_ids_follow_their_tenant(self, covid_setup):
+        scenario = make_multi_tenant_scenario(covid_setup, [("acme", 1)])
+        assert scenario.streams[0].source.config.stream_id == "acme-00"
+
+    def test_invalid_rosters_rejected(self, covid_setup):
+        with pytest.raises(ConfigurationError):
+            make_multi_tenant_scenario(covid_setup, {})
+        with pytest.raises(ConfigurationError):
+            make_multi_tenant_scenario(covid_setup, {"a": 0})
+        with pytest.raises(ConfigurationError):
+            make_multi_tenant_scenario(covid_setup, [("a", 1), ("a", 2)])
+        with pytest.raises(ConfigurationError):
+            make_multi_tenant_scenario(covid_setup, [("", 1)])
 
 
 def test_heterogeneous_needs_with_seed_and_wrapper_delegates(covid_setup):

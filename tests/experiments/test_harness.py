@@ -21,6 +21,7 @@ from repro.experiments.results import (
     CostQualityPoint,
     ExperimentTable,
     format_table,
+    jain_fairness_index,
     normalize_series,
 )
 from repro.workloads.covid import make_covid_setup
@@ -134,3 +135,19 @@ def test_results_formatting_helpers():
     with pytest.raises(ConfigurationError):
         normalize_series([0.0, 0.0])
     assert format_table("empty", []) .endswith("(no rows)")
+
+
+def test_jain_fairness_index_edge_cases():
+    # Degenerate allocations are perfectly fair by convention: nobody was
+    # served, nobody was favoured.
+    assert jain_fairness_index([]) == 1.0
+    assert jain_fairness_index([0.0, 0.0, 0.0]) == 1.0
+    # Equal shares are perfectly fair; one-winner allocations score 1/n.
+    assert jain_fairness_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+    assert jain_fairness_index([1.0]) == pytest.approx(1.0)
+    assert jain_fairness_index([5.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+    # Mixed allocations land strictly between the extremes.
+    mixed = jain_fairness_index([1.0, 2.0, 3.0])
+    assert 1.0 / 3.0 < mixed < 1.0
+    with pytest.raises(ConfigurationError):
+        jain_fairness_index([1.0, -0.5])

@@ -1,0 +1,117 @@
+"""Admission-control tests: SLO rejection, classification, dispatcher hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdmissionError, PlanningError
+from repro.planning import (
+    AdmissionController,
+    SloAdmissionError,
+    TenantSpec,
+    build_problem,
+)
+from repro.service.dispatcher import JobDispatcher
+from repro.service.jobs import InMemoryJobStore, classify_error, is_retryable
+
+SEGMENT_SECONDS = 4.0
+
+
+def saturating_model(max_quality=0.8, k=2.0):
+    def model(spec: TenantSpec, budget: float) -> float:
+        return max_quality * budget / (budget + k)
+
+    return model
+
+
+def make_problem(tenants):
+    return build_problem(
+        tenants,
+        saturating_model(),
+        cloud_budget_per_day=8.0,
+        cores=4.0,
+        segment_seconds=SEGMENT_SECONDS,
+    )
+
+
+def floored_model(floor, max_quality=0.8, k=2.0):
+    def model(spec: TenantSpec, budget: float) -> float:
+        if budget < floor:
+            raise PlanningError("below floor")
+        return max_quality * budget / (budget + k)
+
+    return model
+
+
+def test_unreachable_slo_is_rejected_with_reason():
+    controller = AdmissionController(
+        make_problem(
+            [
+                TenantSpec("fine", n_streams=2, min_quality=0.5),
+                TenantSpec("doomed", n_streams=1, min_quality=0.95),
+            ]
+        )
+    )
+    rejections = controller.rejections()
+    assert set(rejections) == {"doomed"}
+    assert "min_quality" in rejections["doomed"]
+    assert [spec.tenant_id for spec in controller.admitted()] == ["fine"]
+
+
+def test_infeasible_demand_is_rejected():
+    # The floor sits above any budget the grid can buy, so the tenant has
+    # no feasible option at all.
+    problem = build_problem(
+        [TenantSpec("starved", n_streams=1)],
+        floored_model(floor=1e9),
+        cloud_budget_per_day=8.0,
+        cores=4.0,
+        segment_seconds=SEGMENT_SECONDS,
+    )
+    controller = AdmissionController(problem)
+    assert "no feasible allocation" in controller.rejections()["starved"]
+
+
+def test_check_raises_classified_nonretryable_error():
+    controller = AdmissionController(
+        make_problem([TenantSpec("doomed", n_streams=1, min_quality=0.95)])
+    )
+    with pytest.raises(SloAdmissionError) as excinfo:
+        controller.check("doomed")
+    error = excinfo.value
+    assert isinstance(error, AdmissionError)
+    assert error.tenant_id == "doomed"
+    assert classify_error(error) == "slo_infeasible"
+    assert not is_retryable("slo_infeasible")
+    # Tenants the problem does not know about pass through.
+    controller.check("unknown-tenant")
+
+
+def test_dispatcher_admission_hook_vetoes_rejected_tenants():
+    controller = AdmissionController(
+        make_problem(
+            [
+                TenantSpec("fine", n_streams=1),
+                TenantSpec("doomed", n_streams=1, min_quality=0.95),
+            ]
+        )
+    )
+    dispatcher = JobDispatcher(InMemoryJobStore(), admission=controller.check)
+    job = dispatcher.submit("cam-00", tenant_id="fine")
+    assert job.tenant_id == "fine"
+    with pytest.raises(SloAdmissionError):
+        dispatcher.submit("cam-01", tenant_id="doomed")
+    assert len(dispatcher.list_jobs()) == 1
+
+
+def test_slo_at_the_achievable_boundary_is_admitted():
+    # max quality approaches 0.8; an SLO exactly at the best grid point
+    # must not be rejected by floating-point noise.
+    problem = make_problem([TenantSpec("edge", n_streams=1, min_quality=0.0)])
+    controller = AdmissionController(problem)
+    best = problem.demands["edge"].best_quality
+    exact = AdmissionController(
+        make_problem([TenantSpec("edge", n_streams=1, min_quality=best)])
+    )
+    assert exact.rejections() == {}
+    assert controller.rejections() == {}

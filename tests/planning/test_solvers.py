@@ -1,0 +1,188 @@
+"""Solver-ladder tests over synthetic concave demand curves.
+
+The planners are exercised without a fitted system: a synthetic quality
+model (concave ``q = scale * b / (b + k)`` with an optional infeasibility
+floor) stands in for the knob planner, so hundreds of randomized problems
+solve in milliseconds.  The load-bearing invariants: the ladder is monotone
+(greedy <= knapsack <= LP), and every plan respects the shared budget and
+core pool.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, PlanningError
+from repro.planning import (
+    AdmissionController,
+    TenantSpec,
+    build_problem,
+    make_planner,
+    plan_fleet,
+    planner_names,
+    solve_ladder,
+)
+
+EPS = 1e-9
+SEGMENT_SECONDS = 4.0
+
+
+def concave_model(scales=None, floors=None, k=5.0):
+    """A synthetic quality model: concave, saturating, optionally floored."""
+    scales = dict(scales or {})
+    floors = dict(floors or {})
+
+    def model(spec: TenantSpec, budget: float) -> float:
+        floor = floors.get(spec.tenant_id, 0.0)
+        if budget < floor:
+            raise PlanningError(
+                f"tenant {spec.tenant_id!r}: budget {budget:.4f} below "
+                f"floor {floor:.4f}"
+            )
+        scale = scales.get(spec.tenant_id, 1.0)
+        return scale * budget / (budget + k)
+
+    return model
+
+
+def random_problem(rng: random.Random):
+    """A random heterogeneous planning problem (2-5 tenants)."""
+    n_tenants = rng.randint(2, 5)
+    tenants = [
+        TenantSpec(
+            f"t{index}",
+            n_streams=rng.randint(1, 4),
+            weight=rng.choice([0.25, 1.0, 2.0, 4.0]),
+            cost_ratio=rng.choice([1.2, 1.8, 2.5]),
+        )
+        for index in range(n_tenants)
+    ]
+    scales = {spec.tenant_id: rng.uniform(0.5, 1.5) for spec in tenants}
+    model = concave_model(scales=scales, k=rng.uniform(1.0, 20.0))
+    return build_problem(
+        tenants,
+        model,
+        cloud_budget_per_day=rng.uniform(2.0, 16.0),
+        cores=rng.uniform(2.0, 8.0),
+        segment_seconds=SEGMENT_SECONDS,
+        n_budget_levels=rng.choice([3, 5, 9]),
+    )
+
+
+def test_registry_exposes_the_ladder():
+    assert planner_names() == ["greedy", "knapsack", "lp", "per_stream"]
+    with pytest.raises(ConfigurationError):
+        make_planner("simulated-annealing")
+
+
+def test_ladder_is_monotone_on_randomized_problems():
+    solved = 0
+    for seed in range(25):
+        rng = random.Random(seed)
+        problem = random_problem(rng)
+        try:
+            plans = solve_ladder(problem)
+        except PlanningError:
+            # Proportional shares can starve a tenant on tight instances;
+            # the strict rungs refuse rather than silently drop tenants.
+            continue
+        solved += 1
+        greedy = plans["greedy"].objective
+        knapsack = plans["knapsack"].objective
+        lp = plans["lp"].objective
+        assert greedy <= knapsack + EPS, f"seed {seed}"
+        assert knapsack <= lp + EPS, f"seed {seed}"
+    assert solved >= 15, f"only {solved}/25 random instances solved"
+
+
+def test_every_plan_respects_budget_and_cores():
+    for seed in range(25):
+        rng = random.Random(1000 + seed)
+        problem = random_problem(rng)
+        try:
+            plans = solve_ladder(problem)
+        except PlanningError:
+            continue
+        for name, plan in plans.items():
+            assert plan.total_cloud_dollars <= problem.cloud_budget_per_day + 1e-6, (
+                f"seed {seed}: {name} overspends the budget"
+            )
+            assert plan.total_cores <= problem.cores + 1e-6, (
+                f"seed {seed}: {name} oversubscribes cores"
+            )
+            # Every tenant got exactly one allocation.
+            assert set(plan.allocations) == {
+                spec.tenant_id for spec in problem.tenants
+            }
+
+
+def test_joint_planning_beats_per_stream_under_weight_skew():
+    """With skewed weights the proportional split provably wastes budget."""
+    tenants = [
+        TenantSpec("vip", n_streams=1, weight=8.0),
+        TenantSpec("batch", n_streams=3, weight=0.25),
+    ]
+    problem = build_problem(
+        tenants,
+        concave_model(k=50.0),
+        cloud_budget_per_day=8.0,
+        cores=4.0,
+        segment_seconds=SEGMENT_SECONDS,
+        n_budget_levels=9,
+    )
+    plans = solve_ladder(problem)
+    assert plans["lp"].objective > plans["per_stream"].objective + 1e-4
+    # The LP shifts dollars toward the high-weight tenant.
+    vip_lp = plans["lp"].allocation("vip").cloud_dollars_per_day
+    vip_ps = plans["per_stream"].allocation("vip").cloud_dollars_per_day
+    assert vip_lp > vip_ps
+
+
+def test_greedy_refuses_jointly_unaffordable_instances():
+    """When even the cheapest feasible options exceed the budget, the
+    planners raise instead of returning an overspending plan."""
+    floors = {"a": 200.0, "b": 200.0}  # feasible only near the full budget
+    tenants = [TenantSpec("a", n_streams=1), TenantSpec("b", n_streams=1)]
+    problem = build_problem(
+        tenants,
+        concave_model(floors=floors),
+        cloud_budget_per_day=6.0,
+        cores=1.0,
+        segment_seconds=SEGMENT_SECONDS,
+        n_budget_levels=5,
+    )
+    # Each tenant alone can afford a feasible point, but not jointly.
+    if all(problem.demands[t].feasible for t in ("a", "b")):
+        with pytest.raises(PlanningError):
+            make_planner("greedy").plan(problem)
+
+
+def test_plan_fleet_attaches_admission_rejections():
+    tenants = [
+        TenantSpec("ok", n_streams=2),
+        TenantSpec("doomed", n_streams=1, min_quality=2.0),
+    ]
+    problem = build_problem(
+        tenants,
+        concave_model(),
+        cloud_budget_per_day=8.0,
+        cores=4.0,
+        segment_seconds=SEGMENT_SECONDS,
+    )
+    plan = plan_fleet(problem, "lp")
+    assert set(plan.rejected) == {"doomed"}
+    assert set(plan.allocations) == {"ok"}
+    # The admitted tenant's allocation may use the freed-up resources.
+    assert plan.total_cloud_dollars <= 8.0 + EPS
+
+
+def test_solve_ladder_runs_every_registered_rung():
+    rng = random.Random(7)
+    problem = random_problem(rng)
+    controller = AdmissionController(problem)
+    plans = solve_ladder(
+        problem.restricted([spec.tenant_id for spec in controller.admitted()])
+    )
+    assert list(plans) == ["per_stream", "greedy", "knapsack", "lp"]

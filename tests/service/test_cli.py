@@ -14,7 +14,8 @@ import pytest
 
 from repro.core.fleet import scheduler_names
 from repro.errors import ConfigurationError
-from repro.service.cli import _parse_injections, main
+from repro.planning import planner_names
+from repro.service.cli import _parse_injections, build_parser, main
 from repro.service.jobs import DEAD_LETTER, FAILED, QUEUED, RUNNING, JsonFileJobStore
 
 
@@ -53,6 +54,15 @@ def test_submit_then_status_roundtrip(tmp_path, capsys):
     assert {job.tenant_id for job in store.list()} == {"acme", "globex"}
     # Stream ids match what a later `run` rebuilds from the meta.
     assert all(job.stream_id.startswith("ev-") for job in store.list())
+
+
+def test_run_parser_accepts_registered_planners():
+    parser = build_parser()
+    assert parser.parse_args(["run"]).planner is None
+    for name in planner_names():
+        assert parser.parse_args(["run", "--planner", name]).planner == name
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--planner", "simulated-annealing"])
 
 
 def test_submit_appends_and_rejects_workload_mismatch(tmp_path):

@@ -1,0 +1,92 @@
+"""Service-level tests of the joint fleet planner integration.
+
+These drain a real sharded run with a planner configured: the plan lands in
+the report, SLO-infeasible tenants are rejected at submission (no jobs, a
+classified reason in the report), and per-tenant spend stays under the
+planned caps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.planning import SloAdmissionError, TenantSpec
+from repro.service import FleetIngestionService, RetryPolicy, ServiceConfig
+from repro.service.jobs import SUCCESS
+
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay_seconds=0.01)
+
+
+def make_service(bundle, **kwargs):
+    tenant_specs = kwargs.pop("tenant_specs", None)
+    config = ServiceConfig(
+        n_shards=kwargs.pop("n_shards", 1),
+        planner=kwargs.pop("planner", "lp"),
+        retry=FAST_RETRY,
+        **kwargs,
+    )
+    return FleetIngestionService(bundle, config, tenant_specs=tenant_specs)
+
+
+def test_planner_plans_rejects_and_enforces_sub_budgets(service_bundle):
+    service = make_service(
+        service_bundle,
+        tenant_specs={
+            "gold": TenantSpec("gold", n_streams=1, weight=4.0),
+            "strict": TenantSpec("strict", n_streams=1, min_quality=5.0),
+        },
+    )
+    jobs = service.submit_fleet(
+        n_streams=6, tenants=["gold", "silver", "strict"]
+    )
+    # strict's streams get no jobs; the other tenants submit normally.
+    assert {job.tenant_id for job in jobs} == {"gold", "silver"}
+    assert len(jobs) == 4
+    plan = service.fleet_plan
+    assert plan is not None and plan.planner == "lp"
+    assert set(plan.allocations) == {"gold", "silver"}
+    assert set(plan.rejected) == {"strict"}
+    # The admission hook also vetoes direct submissions for the tenant.
+    with pytest.raises(SloAdmissionError):
+        service.dispatcher.submit("strict-00", tenant_id="strict")
+
+    report = service.run()
+    assert report.counts[SUCCESS] == 4
+    assert report.planner == "lp"
+    assert report.plan is not None
+    assert set(report.plan["allocations"]) == {"gold", "silver"}
+    assert [entry["tenant_id"] for entry in report.rejected_tenants] == ["strict"]
+    assert "min_quality" in report.rejected_tenants[0]["reason"]
+    assert set(report.tenant_spend) == {"gold", "silver"}
+    for tenant_id, spent in report.tenant_spend.items():
+        cap = report.plan["allocations"][tenant_id]["cloud_dollars_per_day"]
+        assert spent <= cap + 1e-9
+    # Everything the report serializes must be JSON-shaped.
+    as_dict = report.as_dict()
+    assert as_dict["planner"] == "lp"
+    assert as_dict["rejected_tenants"] == report.rejected_tenants
+
+
+def test_planner_per_stream_baseline_also_deploys(service_bundle):
+    service = make_service(service_bundle, planner="per_stream", n_shards=2)
+    jobs = service.submit_fleet(n_streams=4, tenants=["acme", "globex"])
+    assert len(jobs) == 4
+    plan = service.fleet_plan
+    assert plan.planner == "per_stream"
+    assert plan.rejected == {}
+    # The per-stream split is proportional in streams: equal tenants, equal caps.
+    caps = {a.tenant_id: a.cloud_dollars_per_day for a in plan.allocations.values()}
+    assert caps["acme"] == pytest.approx(caps["globex"])
+    report = service.run()
+    assert report.counts[SUCCESS] == 4
+    assert set(report.tenant_spend) == {"acme", "globex"}
+
+
+def test_no_planner_means_no_plan_in_the_report(service_bundle):
+    service = make_service(service_bundle, planner=None)
+    service.submit_fleet(n_streams=2)
+    report = service.run()
+    assert report.planner is None
+    assert report.plan is None
+    assert report.rejected_tenants == []
+    assert report.tenant_spend == {}
