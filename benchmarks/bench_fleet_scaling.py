@@ -36,7 +36,13 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-from benchmarks.common import benchmark_shim, print_header, run_figure, emit_artifact
+from benchmarks.common import (
+    benchmark_shim,
+    emit_artifact,
+    emit_bench,
+    print_header,
+    run_figure,
+)
 
 from repro.experiments.results import ExperimentTable
 from repro.figures.context import BundleProvider
@@ -81,18 +87,14 @@ def run_service_bench(
         row["success"] + row["dead_letter"] == row["streams"] for row in rows
     )
     scaled = widest == serial or walls[widest] < walls[serial]
-    print(
-        "BENCH "
-        + json.dumps(
-            {
-                "benchmark": "fleet_service_scaling",
-                "mode": "smoke" if smoke else "full",
-                "status": "ok" if (all_terminal and scaled) else "error",
-                "streams": n_streams,
-                "rows": rows,
-            },
-            sort_keys=True,
-        )
+    emit_bench(
+        {
+            "benchmark": "fleet_service_scaling",
+            "mode": "smoke" if smoke else "full",
+            "status": "ok" if (all_terminal and scaled) else "error",
+            "streams": n_streams,
+            "rows": rows,
+        }
     )
     if not (all_terminal and scaled):
         raise SystemExit(1)

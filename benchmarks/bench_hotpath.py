@@ -1,0 +1,342 @@
+"""Columnar hot-path benchmark: vectorized kernels vs the frozen scalar loop.
+
+Measures the figure-suite-critical kernels side by side with the frozen
+pre-vectorization implementations in ``repro.core.reference``:
+
+* ``content_states`` — ``ContentModel.states_at`` over one batch of
+  timestamps vs a ``scalar_state_at`` loop;
+* ``segment_record`` — ``SyntheticVideoSource.record`` (one columnar pass)
+  vs the ``scalar_segments`` generator;
+* ``switcher_select`` — the switcher's columnar ``PlacementTable.select``
+  vs the scalar ``_select_feasible`` scan over the same decision stream;
+* ``fleet_scaling_32`` — the full fleet simulation at 32 skyscraper
+  streams: the vectorized ``FleetEngine.run`` vs ``reference_fleet_run``
+  driving scalar segment generation and scalar switcher scans.
+
+Every kernel checks parity before it reports a time (bit-for-bit for the
+pure loop-structure changes, a documented ~1 ulp fp tolerance where numpy
+transcendentals replaced ``math`` calls), so the benchmark cannot report a
+speedup for a path that diverged.  ``--append-trajectory`` records the run
+as one point in the cross-PR trajectory file ``benchmarks/BENCH_hotpath.json``.
+
+Run standalone::
+
+    PYTHONPATH=src:. python -m benchmarks.bench_hotpath [--smoke]
+    PYTHONPATH=src:. python -m benchmarks.bench_hotpath \
+        --append-trajectory --label pr8 --date 2026-08-08
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from benchmarks.common import emit_bench, print_header
+
+from repro.core.fleet import FleetEngine, FleetStream
+from repro.core.reference import (
+    reference_fleet_run,
+    scalar_segments,
+    scalar_state_at,
+)
+from repro.experiments.results import ExperimentTable
+from repro.experiments.runner import ExperimentRunner
+from repro.figures.context import BundleProvider
+from repro.registry import create_policy
+from repro.workloads.fleet import make_fleet_scenario
+
+#: Cross-PR hot-path trajectory: one point appended per measured milestone.
+TRAJECTORY_PATH = Path(__file__).resolve().parent / "BENCH_hotpath.json"
+
+#: The fleet kernel mirrors the ``fleet_scaling`` figure's largest cell.
+FLEET_STREAMS = 32
+FLEET_BUFFER_BYTES = 256_000_000
+FLEET_CORES = 8
+
+#: Relative tolerance for float aggregates between the vectorized and the
+#: frozen loop: the only divergence is ``np.exp``/``np.power`` vs their
+#: ``math`` twins inside the content model (~1 ulp per state), far below
+#: this bound after accumulation.
+PARITY_RTOL = 1e-9
+
+
+def _timed(fn) -> tuple:
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= PARITY_RTOL * max(abs(a), abs(b), 1.0)
+
+
+# --------------------------------------------------------------------- #
+# Kernels
+# --------------------------------------------------------------------- #
+def bench_content_states(source, n_timestamps: int) -> Dict[str, Any]:
+    """Batched content-state generation vs the scalar per-timestamp loop."""
+    model = source.content_model
+    step = source.segment_seconds
+    timestamps = [index * step + step / 2.0 for index in range(n_timestamps)]
+
+    def columnar():
+        return model.states_at(np.asarray(timestamps))
+
+    def scalar():
+        base = getattr(model, "base", model)
+        shift = getattr(model, "shift_seconds", 0.0)
+        return [scalar_state_at(base, ts + shift) for ts in timestamps]
+
+    columns, columnar_s = _timed(columnar)
+    states, scalar_s = _timed(scalar)
+    parity = all(
+        _close(columns.activity[i], states[i].activity)
+        and _close(columns.occlusion[i], states[i].occlusion)
+        and _close(columns.lighting[i], states[i].lighting)
+        for i in range(0, n_timestamps, max(n_timestamps // 512, 1))
+    )
+    return {
+        "kernel": "content_states",
+        "n": n_timestamps,
+        "scalar_s": round(scalar_s, 4),
+        "columnar_s": round(columnar_s, 4),
+        "speedup": round(scalar_s / columnar_s, 2),
+        "parity": parity,
+    }
+
+
+def bench_segment_record(source, window_seconds: float) -> Dict[str, Any]:
+    """Columnar segment materialization vs the scalar generator."""
+    vectorized, columnar_s = _timed(lambda: source.record(0.0, window_seconds))
+    scalar, scalar_s = _timed(
+        lambda: list(scalar_segments(source, 0.0, window_seconds))
+    )
+    parity = len(vectorized) == len(scalar) and all(
+        a.segment_index == b.segment_index
+        and a.encoded_bytes == b.encoded_bytes
+        and a.ground_truth_objects == b.ground_truth_objects
+        and _close(a.content.activity, b.content.activity)
+        for a, b in zip(vectorized, scalar)
+    )
+    return {
+        "kernel": "segment_record",
+        "n": len(vectorized),
+        "scalar_s": round(scalar_s, 4),
+        "columnar_s": round(columnar_s, 4),
+        "speedup": round(scalar_s / columnar_s, 2),
+        "parity": parity,
+    }
+
+
+def bench_switcher_select(context, n_decisions: int) -> Dict[str, Any]:
+    """Columnar ``PlacementTable.select`` vs the scalar feasibility scan.
+
+    Both paths are pure functions of their inputs, so one switcher instance
+    serves both; the decision stream sweeps the planned configuration, the
+    backlog (including buffer-filling levels that force fallbacks) and the
+    remaining cloud budget (including zero, which forces on-prem scans).
+    """
+    switcher = create_policy("skyscraper", context).switcher
+    table = switcher._placement_table
+    n_configurations = len(switcher.profiles)
+    capacity = switcher.buffer_capacity_bytes
+    inputs = [
+        (
+            index % n_configurations,
+            int((index * 37 % 100) / 100.0 * capacity * 1.2),
+            500_000.0 + (index % 7) * 250_000.0,
+            (0.0, 0.001, 10.0)[index % 3],
+        )
+        for index in range(n_decisions)
+    ]
+
+    def columnar():
+        return [table.select(*entry) for entry in inputs]
+
+    def scalar():
+        return [switcher._select_feasible(*entry) for entry in inputs]
+
+    vectorized, columnar_s = _timed(columnar)
+    reference, scalar_s = _timed(scalar)
+    parity = all(
+        a[0] == b[0] and (a[1] is b[1] or a[1] == b[1]) and a[2] == b[2]
+        for a, b in zip(vectorized, reference)
+    )
+    return {
+        "kernel": "switcher_select",
+        "n": n_decisions,
+        "scalar_s": round(scalar_s, 4),
+        "columnar_s": round(columnar_s, 4),
+        "speedup": round(scalar_s / columnar_s, 2),
+        "parity": parity,
+    }
+
+
+def _fleet_parity(vectorized, reference) -> bool:
+    """Per-stream aggregate parity within the documented fp tolerance."""
+    if sorted(vectorized.stream_results) != sorted(reference.stream_results):
+        return False
+    for stream_id, ours in vectorized.stream_results.items():
+        theirs = reference.stream_results[stream_id]
+        for attr in ("segments_total", "segments_dropped", "overflow_count", "switch_count"):
+            if getattr(ours, attr) != getattr(theirs, attr):
+                return False
+        for attr in (
+            "total_true_quality",
+            "total_weighted_quality",
+            "cloud_dollars",
+            "total_lag_seconds",
+        ):
+            if not _close(getattr(ours, attr), getattr(theirs, attr)):
+                return False
+        if ours.configuration_usage != theirs.configuration_usage:
+            return False
+    return True
+
+
+def bench_fleet_scaling(runner, bundle, n_streams: int) -> Dict[str, Any]:
+    """The vectorized fleet engine vs the frozen loop at figure scale.
+
+    The reference side runs the complete pre-vectorization hot path: the
+    scalar segment generator feeds the frozen per-event session loop, and
+    every stream's switcher is flipped to its scalar feasibility scan
+    (``use_columnar=False``).
+    """
+    context = runner.context_for(
+        "skyscraper", cores=FLEET_CORES, buffer_bytes=FLEET_BUFFER_BYTES
+    )
+    scenario = make_fleet_scenario(
+        bundle.setup, n_streams, phase_shift_seconds=3_600.0
+    )
+    cluster = context.skyscraper.resources.cluster_spec()
+    cloud = context.skyscraper.cloud
+    start, end = bundle.config.online_start, bundle.config.online_end
+
+    def build_streams(columnar: bool) -> List[FleetStream]:
+        streams = []
+        for spec in scenario.streams:
+            policy = create_policy("skyscraper", context)
+            policy.switcher.use_columnar = columnar
+            streams.append(
+                FleetStream(
+                    workload=bundle.setup.workload,
+                    source=spec.source,
+                    policy=policy,
+                    stream_id=spec.stream_id,
+                    buffer_capacity_bytes=FLEET_BUFFER_BYTES,
+                )
+            )
+        return streams
+
+    def columnar():
+        engine = FleetEngine(
+            cluster=cluster, cloud=cloud, scheduler="fifo", keep_traces=False
+        )
+        return engine.run(build_streams(True), start, end)
+
+    def scalar():
+        return reference_fleet_run(
+            build_streams(False),
+            start,
+            end,
+            cluster,
+            cloud=cloud,
+            scheduler="fifo",
+            keep_traces=False,
+            segments_fn=scalar_segments,
+        )
+
+    columnar()  # warm caches (profile tables, content trig tables) for both
+    vectorized, columnar_s = _timed(columnar)
+    reference, scalar_s = _timed(scalar)
+    return {
+        "kernel": f"fleet_scaling_{n_streams}",
+        "n": vectorized.segments_total,
+        "streams": n_streams,
+        "scalar_s": round(scalar_s, 4),
+        "columnar_s": round(columnar_s, 4),
+        "speedup": round(scalar_s / columnar_s, 2),
+        "parity": _fleet_parity(vectorized, reference),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Harness
+# --------------------------------------------------------------------- #
+def run_hotpath_bench(smoke: bool = False) -> Dict[str, Any]:
+    """Run every kernel and return the BENCH payload."""
+    provider = BundleProvider(smoke=smoke)
+    bundle = provider.bundle("ev", online_days=None if smoke else 0.01)
+    runner = ExperimentRunner(bundle)
+    context = runner.context_for(
+        "skyscraper", cores=FLEET_CORES, buffer_bytes=FLEET_BUFFER_BYTES
+    )
+    source = bundle.setup.source
+
+    kernels = [
+        bench_content_states(source, 20_000 if smoke else 200_000),
+        bench_segment_record(source, 4_320.0 if smoke else 86_400.0),
+        bench_switcher_select(context, 2_000 if smoke else 20_000),
+        bench_fleet_scaling(runner, bundle, 8 if smoke else FLEET_STREAMS),
+    ]
+
+    print_header(
+        "Columnar hot path: vectorized kernels vs the frozen scalar loop",
+        "simulator throughput (cf. fig22/fig23)",
+    )
+    table = ExperimentTable("hot-path kernels")
+    for row in kernels:
+        table.add_row(**row)
+    print(table.render())
+
+    all_parity = all(row["parity"] for row in kernels)
+    none_slower = all(row["speedup"] >= 1.0 for row in kernels)
+    return {
+        "benchmark": "hotpath",
+        "mode": "smoke" if smoke else "full",
+        "status": "ok" if (all_parity and none_slower) else "error",
+        "kernels": kernels,
+    }
+
+
+def append_trajectory(payload: Dict[str, Any], label: str, date: str) -> None:
+    """Append one measured point to the cross-PR trajectory file."""
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text())
+    else:
+        trajectory = {"benchmark": "hotpath", "points": []}
+    trajectory["points"].append(
+        {"label": label, "date": date, "kernels": payload["kernels"]}
+    )
+    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"appended point {label!r} to {TRAJECTORY_PATH}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized batches and fleet"
+    )
+    parser.add_argument(
+        "--append-trajectory",
+        action="store_true",
+        help="record the run in benchmarks/BENCH_hotpath.json",
+    )
+    parser.add_argument("--label", default="local", help="trajectory point label")
+    parser.add_argument("--date", default="", help="trajectory point date")
+    args = parser.parse_args(argv)
+    payload = run_hotpath_bench(smoke=args.smoke)
+    emit_bench(payload)
+    if payload["status"] != "ok":
+        raise SystemExit(1)
+    if args.append_trajectory:
+        append_trajectory(payload, label=args.label, date=args.date)
+
+
+if __name__ == "__main__":
+    main()

@@ -16,9 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
-
-import pytest
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.results import ExperimentTable
 from repro.figures import FigureArtifact, FigureSuite, figure_spec
@@ -38,6 +36,35 @@ def shared_suite(smoke: bool = False) -> FigureSuite:
 def run_figure(figure_id: str, smoke: bool = False) -> FigureArtifact:
     """Run one registered figure spec through the shared suite."""
     return shared_suite(smoke).run_one(figure_id)
+
+
+#: Prefix of the machine-readable result line every benchmark emits.
+BENCH_PREFIX = "BENCH "
+
+
+def emit_bench(payload: Dict[str, Any]) -> str:
+    """Print (and return) the machine-readable ``BENCH {...}`` json line.
+
+    The single place the line format lives: one json object per line,
+    ``sort_keys`` for stable diffs, prefixed by :data:`BENCH_PREFIX` so CI
+    can grep it out of arbitrary human-readable output.
+    """
+    line = BENCH_PREFIX + json.dumps(payload, sort_keys=True)
+    print(line)
+    return line
+
+
+def parse_bench_lines(text: str) -> List[Dict[str, Any]]:
+    """Parse every ``BENCH`` payload out of captured benchmark output.
+
+    The inverse of :func:`emit_bench`; CI smoke steps use it instead of
+    re-implementing the prefix-and-json convention per workflow step.
+    """
+    return [
+        json.loads(line[len(BENCH_PREFIX):])
+        for line in text.splitlines()
+        if line.startswith(BENCH_PREFIX)
+    ]
 
 
 def print_header(title: str, paper_reference: str) -> None:
@@ -92,17 +119,13 @@ def emit_artifact(artifact: FigureArtifact) -> None:
         status = "PASS" if entry["passed"] else "FAIL"
         detail = f" ({entry['detail']})" if entry.get("detail") else ""
         print(f"  check {status} {entry['name']}{detail}")
-    print(
-        "BENCH "
-        + json.dumps(
-            {
-                "benchmark": artifact.figure_id,
-                "mode": artifact.mode,
-                "status": artifact.status,
-                **artifact.payload,
-            },
-            sort_keys=True,
-        )
+    emit_bench(
+        {
+            "benchmark": artifact.figure_id,
+            "mode": artifact.mode,
+            "status": artifact.status,
+            **artifact.payload,
+        }
     )
 
 
@@ -122,6 +145,10 @@ def benchmark_shim(
     iteration, like the legacy scripts) and fails on spec errors or failed
     declarative checks; ``main`` additionally understands ``--smoke``.
     """
+    # Imported here so pytest-free environments (CI smoke jobs that only
+    # need emit_bench/parse_bench_lines) can import this module.
+    import pytest
+
     spec = figure_spec(figure_id)  # fail fast on unknown ids at import time
 
     @pytest.mark.benchmark(group=figure_id)

@@ -1,0 +1,174 @@
+"""Columnar hot-path structures for the simulation core.
+
+The per-object loops the engine grew up with (one ``state_at`` per segment,
+one nested placement scan per switch decision, one attribute-chasing pass per
+arrival) are replaced by structure-of-arrays views built **once** from the
+existing object model and consumed by array ops:
+
+* :class:`PlacementTable` — every (configuration, placement) pair of a
+  :class:`~repro.core.profiles.ProfileSet` flattened into runtime/cost
+  columns in the switcher's exact scan order, so
+  :meth:`~repro.core.switcher.KnobSwitcher.decide` becomes a sliced mask
+  reduction instead of two nested Python loops;
+* :class:`SessionColumns` — one stream's whole ingestion window as columns
+  (arrival times, encoded sizes, bitrates, quality weights), built from a
+  single batched pass over the content model
+  (:meth:`~repro.video.stream.SyntheticVideoSource.segment_columns`); the
+  event loop reads plain Python lists (no ``np.int64`` leaks into results or
+  JSON) and materializes a :class:`~repro.video.frame.VideoSegment` only
+  when a segment is actually processed.
+
+Parity contract: every consumer keeps its object API and is pinned against
+the frozen pre-vectorization loop in :mod:`repro.core.reference` —
+bit-for-bit where only loop structure changed, and to a documented ~1 ulp
+tolerance where ``np.exp``/``np.power`` replaced ``math`` calls (see
+``tests/core/test_hotpath_parity.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.profiler import PlacementProfile
+from repro.core.interfaces import VETLWorkload
+from repro.core.profiles import ProfileSet
+from repro.video.stream import SegmentColumns, SyntheticVideoSource
+
+
+class PlacementTable:
+    """The switcher's feasibility scan, flattened into columns.
+
+    The scalar switcher walks configurations from the planned one through
+    ever less qualitative ones (``_fallback_order``) and, per configuration,
+    its placements cheapest cloud spend first, returning the first placement
+    that is within budget and fits the buffer.  This table stores exactly
+    that scan order once: row ``k`` is the ``k``-th (configuration,
+    placement) pair the scalar scan would visit when the *most* qualitative
+    configuration is planned; planning a less qualitative configuration just
+    starts the scan at that configuration's first row.
+
+    :meth:`select` evaluates the same IEEE comparisons as the scalar loop
+    over a slice of these columns, so its result is identical decision for
+    decision (including the budget epsilon, the first-fit tie-break, and the
+    first-strict-minimum "last resort" runtime scan).
+    """
+
+    def __init__(
+        self,
+        profiles: ProfileSet,
+        quality_order: List[int],
+        segment_duration: float,
+        buffer_capacity_bytes: int,
+        safety_margin: float,
+    ):
+        config_indices: List[int] = []
+        placements: List[PlacementProfile] = []
+        runtimes: List[float] = []
+        cloud_dollars: List[float] = []
+        #: first table row of each configuration's placement block, by
+        #: configuration index (the scan for planned configuration ``c``
+        #: covers ``rows[start_row[c]:]``).
+        self.start_row = np.zeros(len(profiles), dtype=np.int64)
+        for config_index in quality_order:
+            profile = profiles[config_index]
+            self.start_row[config_index] = len(placements)
+            for placement in profile.placements_by_cloud_cost():
+                config_indices.append(config_index)
+                placements.append(placement)
+                runtimes.append(placement.runtime_seconds)
+                cloud_dollars.append(placement.cloud_dollars)
+        self.config_index = np.array(config_indices, dtype=np.int64)
+        self.placements = placements
+        self.runtime_seconds = np.array(runtimes, dtype=float)
+        self.cloud_dollars = np.array(cloud_dollars, dtype=float)
+        #: buffer growth while a placement runs, per produced byte/s
+        #: (``max(runtime - segment_duration, 0)``) — precomputed because it
+        #: only depends on the placement.
+        self.growth_seconds = np.maximum(self.runtime_seconds - segment_duration, 0.0)
+        self.segment_duration = segment_duration
+        #: the scalar loop computes ``capacity * safety_margin`` afresh per
+        #: call; the product is identical, so precomputing keeps parity.
+        self.buffer_threshold = buffer_capacity_bytes * safety_margin
+        self._on_prem = [profile.on_prem_placement for profile in profiles]
+
+    def select(
+        self,
+        planned_choice: int,
+        backlog_bytes: int,
+        bytes_per_second: float,
+        cloud_budget_remaining: float,
+    ) -> Tuple[int, PlacementProfile, bool]:
+        """Vectorized twin of ``KnobSwitcher._select_feasible``."""
+        start = int(self.start_row[planned_choice])
+        budget_ok = self.cloud_dollars[start:] <= cloud_budget_remaining + 1e-12
+        rate = max(bytes_per_second, 0.0)
+        headroom = self.segment_duration * rate
+        predicted = (backlog_bytes + self.growth_seconds[start:] * rate) + headroom
+        fits = predicted <= self.buffer_threshold
+        wins = budget_ok & fits
+        if wins.any():
+            row = start + int(np.argmax(wins))
+            choice = int(self.config_index[row])
+            return choice, self.placements[row], choice != planned_choice
+        if not budget_ok.any():
+            # Nothing is within budget: run the planned configuration on
+            # premises (the scalar loop's empty-candidate fallback).
+            return planned_choice, self._on_prem[planned_choice], False
+        # No placement avoids the overflow; pick the fastest in-budget one.
+        # ``np.argmin`` returns the first occurrence of the minimum, matching
+        # the scalar scan's strict-improvement update order.
+        masked_runtime = np.where(budget_ok, self.runtime_seconds[start:], np.inf)
+        row = start + int(np.argmin(masked_runtime))
+        return int(self.config_index[row]), self.placements[row], True
+
+
+class SessionColumns:
+    """One stream's ingestion window as columns plus lazy row materialization.
+
+    All per-arrival values the event loop touches are Python-native lists
+    (converted once via ``ndarray.tolist()``), so heap entries, buffer
+    arithmetic and results stay free of numpy scalar types.  The value in
+    every column is bit-for-bit what the scalar path computed:
+
+    * ``arrival_times[i]`` — ``segment.end_time`` (``start + duration``);
+    * ``encoded_bytes[i]`` — the H.264 model's segment size;
+    * ``bytes_per_second[i]`` — ``encoded_bytes / segment_seconds``, which
+      is exactly ``SyntheticVideoSource.bytes_per_second`` (the scalar path
+      re-derived the same integer from the content state);
+    * ``weights[i]`` — the workload's quality weight, or ``None`` when the
+      workload defines no weight (treated as 1.0 by the session).
+    """
+
+    def __init__(
+        self,
+        source: SyntheticVideoSource,
+        workload: VETLWorkload,
+        start_time: float,
+        end_time: float,
+    ):
+        columns = source.segment_columns(start_time, end_time)
+        self.columns: SegmentColumns = columns
+        duration = source.segment_seconds
+        self.segment_indices: List[int] = columns.segment_index.tolist()
+        self.arrival_times: List[float] = (columns.start_time + duration).tolist()
+        self.encoded_bytes: List[int] = columns.encoded_bytes.tolist()
+        self.bytes_per_second: List[float] = (columns.encoded_bytes / duration).tolist()
+        self.weights: Optional[List[float]] = None
+        quality_weight = getattr(workload, "quality_weight", None)
+        if quality_weight is not None:
+            weight_columns = getattr(workload, "quality_weight_columns", None)
+            if weight_columns is not None:
+                self.weights = np.asarray(weight_columns(columns), dtype=float).tolist()
+            else:
+                self.weights = [
+                    float(quality_weight(columns.segment(i))) for i in range(len(columns))
+                ]
+
+    def __len__(self) -> int:
+        return len(self.segment_indices)
+
+    def segment(self, position: int):
+        """Materialize row ``position`` as a :class:`VideoSegment`."""
+        return self.columns.segment(position)

@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
 
 from repro.cluster.resources import ClusterSpec
+from repro.core.columnar import SessionColumns
 from repro.core.engine import (
     DecisionContext,
     IngestionResult,
@@ -83,13 +84,19 @@ class PendingSegment:
     backlog a policy will face from the occupancy *at arrival* plus the video
     that keeps arriving while the segment waits, and numbers segments by
     arrival order — both must survive the segment sitting in the queue.
+
+    ``segment`` is materialized lazily: entries created from a session's
+    columnar window carry only their row ``position`` until the segment is
+    actually processed (dropped segments are never built), while explicitly
+    constructed entries (tests, custom drivers) pass the segment directly.
     """
 
-    segment: VideoSegment
+    segment: Optional[VideoSegment]
     arrival_time: float
     occupancy_at_arrival: int
     arrival_ordinal: int
     weight: float
+    position: int = field(default=-1)
 
 
 class StreamSession:
@@ -143,13 +150,20 @@ class StreamSession:
         self.last_reported_quality = 1.0
         self.last_configuration_index = 0
         self._last_decision_index: Optional[int] = None
-        self._segments: Optional[Iterator[VideoSegment]] = None
+        self._columns: Optional[SessionColumns] = None
+        self._cursor = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def start(self, start_time: float, end_time: float) -> None:
-        """Reset the session and open the source for ``[start_time, end_time)``."""
+        """Reset the session and open the source for ``[start_time, end_time)``.
+
+        The whole window's segments are generated in one columnar pass
+        (content states, encoded sizes, quality weights as arrays); the
+        event loop then walks plain Python lists and only materializes a
+        :class:`VideoSegment` when a segment actually reaches the cluster.
+        """
         self.result = IngestionResult(
             workload_name=self.workload.name,
             policy_name=self.policy.name,
@@ -162,12 +176,18 @@ class StreamSession:
         self.last_reported_quality = 1.0
         self.last_configuration_index = 0
         self._last_decision_index = None
-        self._segments = self.source.segments(start_time, end_time)
+        self._columns = SessionColumns(self.source, self.workload, start_time, end_time)
+        self._cursor = 0
 
-    def next_segment(self) -> Optional[VideoSegment]:
-        """The stream's next segment, or ``None`` when the window is drained."""
-        assert self._segments is not None, "StreamSession.start must run first"
-        return next(self._segments, None)
+    def next_arrival(self) -> Optional[Tuple[float, int]]:
+        """``(arrival_time, position)`` of the next segment, or ``None``."""
+        columns = self._columns
+        assert columns is not None, "StreamSession.start must run first"
+        if self._cursor >= len(columns):
+            return None
+        position = self._cursor
+        self._cursor = position + 1
+        return columns.arrival_times[position], position
 
     def finalize(self) -> IngestionResult:
         """Close the session and return its result (traces in segment order)."""
@@ -178,27 +198,29 @@ class StreamSession:
     # ------------------------------------------------------------------ #
     # Event handlers
     # ------------------------------------------------------------------ #
-    def on_arrival(self, segment: VideoSegment) -> bool:
-        """Admit ``segment`` to the buffer; returns ``False`` when dropped.
+    def on_arrival(self, position: int) -> bool:
+        """Admit the segment at columnar row ``position``; ``False`` = dropped.
 
         Mirrors the reference engine's arrival block: the segment counts
         toward the totals and the quality weight before the overflow check,
         and the peak buffer occupancy records the *attempted* occupancy even
-        on the dropped path so overflow severity stays visible.
+        on the dropped path so overflow severity stays visible.  Everything
+        the admission needs comes from the precomputed columns; the
+        ``VideoSegment`` object is only built if the segment later runs.
         """
         result = self.result
-        assert result is not None, "StreamSession.start must run first"
-        arrival = segment.end_time
+        columns = self._columns
+        assert result is not None and columns is not None, "StreamSession.start must run first"
+        arrival = columns.arrival_times[position]
+        encoded_bytes = columns.encoded_bytes[position]
         backlog_before = self.buffer_bytes
 
         result.segments_total += 1
         arrival_ordinal = result.segments_total - 1
-        weight = (
-            float(self._quality_weight(segment)) if self._quality_weight is not None else 1.0
-        )
+        weight = columns.weights[position] if columns.weights is not None else 1.0
         result.total_quality_weight += weight
 
-        occupancy = backlog_before + segment.encoded_bytes
+        occupancy = backlog_before + encoded_bytes
         result.peak_buffer_bytes = max(result.peak_buffer_bytes, occupancy)
         if occupancy > self.buffer_capacity_bytes:
             result.overflowed = True
@@ -207,7 +229,7 @@ class StreamSession:
                 from repro.errors import BufferOverflowError
 
                 raise BufferOverflowError(
-                    requested_bytes=segment.encoded_bytes,
+                    requested_bytes=encoded_bytes,
                     free_bytes=self.buffer_capacity_bytes - backlog_before,
                     capacity_bytes=self.buffer_capacity_bytes,
                 )
@@ -215,7 +237,7 @@ class StreamSession:
             if self.keep_traces:
                 result.traces.append(
                     SegmentTrace(
-                        segment_index=segment.segment_index,
+                        segment_index=columns.segment_indices[position],
                         arrival_time=arrival,
                         start_time=arrival,
                         finish_time=arrival,
@@ -236,11 +258,12 @@ class StreamSession:
         self.buffer_bytes = occupancy
         self.pending.append(
             PendingSegment(
-                segment=segment,
+                segment=None,
                 arrival_time=arrival,
                 occupancy_at_arrival=occupancy,
                 arrival_ordinal=arrival_ordinal,
                 weight=weight,
+                position=position,
             )
         )
         return True
@@ -269,10 +292,16 @@ class StreamSession:
         """
         result = self.result
         assert result is not None, "StreamSession.start must run first"
+        if entry.segment is None:
+            assert self._columns is not None, "StreamSession.start must run first"
+            entry.segment = self._columns.segment(entry.position)
         segment = entry.segment
         arrival = entry.arrival_time
 
-        bytes_per_second = self.source.bytes_per_second(segment.content)
+        if entry.position >= 0 and self._columns is not None:
+            bytes_per_second = self._columns.bytes_per_second[entry.position]
+        else:
+            bytes_per_second = self.source.bytes_per_second(segment.content)
         lag_seconds = max(decision_time - arrival, 0.0)
         # The cluster frees up possibly well after this segment arrived; by
         # then more video has arrived, so estimate the occupancy the policy

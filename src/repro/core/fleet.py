@@ -22,6 +22,7 @@ wrapper over a one-stream fleet, with bit-for-bit identical results.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Union
 
@@ -50,14 +51,25 @@ class DailyBudgetLedger:
             raise ConfigurationError("daily_budget_dollars must be non-negative")
         self.daily_budget_dollars = daily_budget_dollars
         self.spend_by_day: Dict[int, float] = {}
+        # Current-day bucket cache: ``remaining``/``charge`` run per segment
+        # and almost always hit the same day, so the day index and its spend
+        # are kept hot between consecutive same-day calls.
+        self._cached_day: Optional[int] = None
+        self._cached_spend = 0.0
 
     @staticmethod
     def day_of(time: float) -> int:
         return int(time // SECONDS_PER_DAY)
 
+    def _day_spend(self, day: int) -> float:
+        if day != self._cached_day:
+            self._cached_day = day
+            self._cached_spend = self.spend_by_day.get(day, 0.0)
+        return self._cached_spend
+
     def spent_on(self, time: float) -> float:
         """Dollars already spent during the day containing ``time``."""
-        return self.spend_by_day.get(self.day_of(time), 0.0)
+        return self._day_spend(self.day_of(time))
 
     def remaining(self, time: float) -> float:
         """Budget left for the day containing ``time`` (``inf`` if unlimited)."""
@@ -68,7 +80,9 @@ class DailyBudgetLedger:
     def charge(self, time: float, dollars: float) -> None:
         """Charge ``dollars`` against the day containing ``time``."""
         day = self.day_of(time)
-        self.spend_by_day[day] = self.spend_by_day.get(day, 0.0) + dollars
+        spend = self._day_spend(day) + dollars
+        self.spend_by_day[day] = spend
+        self._cached_spend = spend
 
     @property
     def total_dollars(self) -> float:
@@ -391,6 +405,11 @@ class FleetEngine:
             self._schedule_next_arrival(loop, session)
 
         busy_until = start_time
+        # The ready list (sessions with pending segments, in fleet order) is
+        # maintained incrementally: a session enters when an arrival lands in
+        # its empty queue and leaves when its last pending segment is served.
+        # This replaces the per-serve O(n_streams) rebuild of the old loop.
+        ready: List[StreamSession] = []
         while len(loop):
             now = loop.next_time()
             # Drain every event at this timestamp (finishes before arrivals)
@@ -400,21 +419,21 @@ class FleetEngine:
                 if kind == FINISH:
                     session.on_finish(payload)
                 elif kind == ARRIVAL:
-                    session.on_arrival(payload)
+                    if session.on_arrival(payload) and len(session.pending) == 1:
+                        insort(ready, session, key=lambda entry: entry.index)
                     self._schedule_next_arrival(loop, session)
             # Hand the cluster to pending segments while it is idle; each
             # decision advances the shared clock, so at most one segment is
             # in flight at any instant.
-            while busy_until <= now:
-                ready = [session for session in sessions if session.pending]
-                if not ready:
-                    break
+            while busy_until <= now and ready:
                 # Always consult the scheduler, even with one candidate:
                 # stateful schedulers (round-robin's cursor) must observe
                 # every serve to keep their documented order.
                 chosen = scheduler.select(ready, now)
                 stream_ledger = stream_ledgers[chosen.index]
                 entry = chosen.pending.popleft()
+                if not chosen.pending:
+                    ready.remove(chosen)
                 finish, cloud_dollars = chosen.execute(
                     entry, now, self.cluster, stream_ledger.remaining(now)
                 )
@@ -437,6 +456,7 @@ class FleetEngine:
 
     @staticmethod
     def _schedule_next_arrival(loop: EventLoop, session: StreamSession) -> None:
-        segment = session.next_segment()
-        if segment is not None:
-            loop.schedule(segment.end_time, ARRIVAL, session, segment)
+        arrival = session.next_arrival()
+        if arrival is not None:
+            arrival_time, position = arrival
+            loop.schedule(arrival_time, ARRIVAL, session, position)

@@ -91,8 +91,17 @@ class KnobConfiguration:
         return [name for name, _ in self.values]
 
     def short_label(self) -> str:
-        """Compact human-readable label (used in traces and benchmark output)."""
-        return ",".join(f"{name}={value}" for name, value in self.values)
+        """Compact human-readable label (used in traces and benchmark output).
+
+        Memoized: the label is rebuilt for every trace row and every
+        deterministic-noise key on the ingestion hot path, so the first call
+        caches it on the (frozen, immutable) instance.
+        """
+        label = self.__dict__.get("_short_label")
+        if label is None:
+            label = ",".join(f"{name}={value}" for name, value in self.values)
+            object.__setattr__(self, "_short_label", label)
+        return label
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.short_label()

@@ -1,0 +1,510 @@
+"""Frozen pre-vectorization reference implementations (parity oracles).
+
+The columnar hot path (:mod:`repro.core.columnar`, the vectorized
+:meth:`~repro.video.content.ContentModel.states_at`, and the index-based
+fleet loop in :mod:`repro.core.events`) replaced per-object Python loops
+that had accumulated three PRs of carefully pinned semantics.  This module
+keeps those loops alive, verbatim, for two purposes:
+
+* **parity oracle** — ``tests/core/test_hotpath_parity.py`` replays the
+  same scenarios through :func:`reference_fleet_run` and asserts the
+  vectorized engine is bit-for-bit identical (and that the vectorized
+  content math stays within the documented tolerance of
+  :func:`scalar_state_at`);
+* **benchmark baseline** — ``benchmarks/bench_hotpath.py`` measures the
+  vectorized path against these loops, so the committed speedups in
+  ``benchmarks/BENCH_hotpath.json`` are relative to the true seed
+  behaviour, not to a strawman.
+
+``reference_fleet_run`` takes a ``segments_fn`` hook: the parity tests pass
+the *live* ``source.segments`` (both sides then consume identical segment
+values, pinning the loop/switcher/accumulation changes exactly), while the
+benchmark passes :func:`scalar_segments` (the loop then also pays the
+pre-vectorization per-segment content cost, reproducing the seed).
+
+Nothing here is called by the runtime; edits to this file invalidate the
+parity guarantee and should only ever accompany an intentional semantic
+change of the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.resources import CloudSpec, ClusterSpec
+from repro.core.engine import DecisionContext, IngestionResult, SegmentTrace
+from repro.errors import ConfigurationError
+from repro.video.content import (
+    SECONDS_PER_DAY,
+    ContentModel,
+    ContentState,
+)
+from repro.video.frame import VideoSegment
+from repro.video.stream import SyntheticVideoSource
+
+
+def _clip01(value: float) -> float:
+    return float(min(max(value, 0.0), 1.0))
+
+
+# --------------------------------------------------------------------- #
+# Scalar content math (pre-vectorization ContentModel.state_at)
+# --------------------------------------------------------------------- #
+def _scalar_burst_intensity(model: ContentModel, timestamp: float) -> float:
+    """Verbatim copy of the pre-vectorization ``ContentModel._burst_intensity``."""
+    day = int(timestamp // SECONDS_PER_DAY)
+    total = 0.0
+    # A burst can straddle midnight, so also consider the previous day.
+    for candidate_day in (day - 1, day):
+        if candidate_day < 0:
+            continue
+        starts, durations, magnitudes = model._bursts_for_day(candidate_day)
+        if starts.size == 0:
+            continue
+        # Only bursts that have started and not yet ended contribute.
+        active = (starts <= timestamp) & (timestamp < starts + durations)
+        if not np.any(active):
+            continue
+        phase = (timestamp - starts[active]) / durations[active]
+        total += float(np.sum(magnitudes[active] * np.sin(np.pi * phase)))
+    return total
+
+
+def _scalar_smooth_noise(model: ContentModel, timestamp: float) -> float:
+    """Verbatim copy of the pre-vectorization ``ContentModel._smooth_noise``."""
+    value = 0.0
+    for phase, period in zip(model._noise_phases, model._noise_periods):
+        value += math.sin(2.0 * math.pi * timestamp / period + phase)
+    return model.noise_level * value / len(model._noise_phases)
+
+
+def scalar_state_at(
+    model: ContentModel, timestamp: float, stream_load: Optional[float] = None
+) -> ContentState:
+    """The pre-vectorization ``ContentModel.state_at``, operation for operation.
+
+    Uses ``math.exp``/``math.pow`` scalar transcendentals where the live
+    implementation now uses the numpy ufuncs, so individual fields may differ
+    from the live path by a few ulps (the documented tolerance).
+    """
+    if timestamp < 0:
+        raise ConfigurationError("timestamp must be non-negative")
+    diurnal = model.diurnal
+    baseline = diurnal.activity(timestamp)
+    baseline += model.trend_per_day * (timestamp / SECONDS_PER_DAY)
+    burst = _scalar_burst_intensity(model, timestamp)
+    spike = model.spikes.intensity(timestamp) if model.spikes is not None else 0.0
+    noise = _scalar_smooth_noise(model, timestamp)
+    activity = _clip01(baseline + burst + spike + noise)
+
+    lighting = diurnal.lighting(timestamp)
+    object_density = _clip01(activity * (0.85 + 0.3 * burst))
+    occlusion = _clip01(activity**1.4 * (1.1 - 0.25 * lighting))
+    motion = _clip01(0.25 + 0.6 * activity + 0.4 * burst)
+    load = stream_load if stream_load is not None else _clip01(0.3 + 0.7 * activity + spike)
+    return ContentState(
+        timestamp=float(timestamp),
+        object_density=object_density,
+        occlusion=occlusion,
+        lighting=lighting,
+        motion=motion,
+        activity=activity,
+        stream_load=load,
+    )
+
+
+def scalar_segment_at(source: SyntheticVideoSource, segment_index: int) -> VideoSegment:
+    """The pre-vectorization ``SyntheticVideoSource.segment_at``."""
+    if segment_index < 0:
+        raise ConfigurationError("segment_index must be non-negative")
+    config = source.config
+    start_time = segment_index * config.segment_seconds
+    model = source.content_model
+    shift = getattr(model, "shift_seconds", None)
+    query = start_time + config.segment_seconds / 2.0
+    if shift is not None:
+        # PhaseShiftedContentModel: evaluate the base at the shifted time and
+        # re-stamp with the query time, exactly as the live wrapper does.
+        base_state = scalar_state_at(model.base, query + shift)
+        from dataclasses import replace
+
+        content = replace(base_state, timestamp=float(query))
+    else:
+        content = scalar_state_at(model, query)
+    encoded_bytes = source.size_model.segment_bytes(
+        config.segment_seconds, config.width, config.height, content
+    )
+    ground_truth = max(int(round(content.object_density * config.max_objects)), 0)
+    return VideoSegment(
+        segment_index=segment_index,
+        stream_id=config.stream_id,
+        start_time=start_time,
+        duration=config.segment_seconds,
+        frame_rate=config.frame_rate,
+        width=config.width,
+        height=config.height,
+        content=content,
+        encoded_bytes=encoded_bytes,
+        ground_truth_objects=ground_truth,
+    )
+
+
+def scalar_segments(
+    source: SyntheticVideoSource, start_time: float, end_time: float
+) -> Iterator[VideoSegment]:
+    """The pre-vectorization ``SyntheticVideoSource.segments`` generator."""
+    if end_time < start_time:
+        raise ConfigurationError("end_time must not precede start_time")
+    first = int(math.floor(start_time / source.config.segment_seconds))
+    last = int(math.ceil(end_time / source.config.segment_seconds))
+    for index in range(first, last):
+        segment = scalar_segment_at(source, index)
+        if start_time <= segment.start_time < end_time:
+            yield segment
+
+
+# --------------------------------------------------------------------- #
+# The pre-vectorization per-object fleet loop
+# --------------------------------------------------------------------- #
+_FINISH = 0
+_ARRIVAL = 1
+
+
+@dataclass
+class _ReferencePending:
+    segment: VideoSegment
+    arrival_time: float
+    occupancy_at_arrival: int
+    arrival_ordinal: int
+    weight: float
+
+
+class _ReferenceSession:
+    """Verbatim copy of the pre-columnar ``StreamSession``."""
+
+    def __init__(
+        self,
+        workload,
+        source: SyntheticVideoSource,
+        policy,
+        buffer_capacity_bytes: int,
+        stream_id: Optional[str] = None,
+        on_overflow: str = "drop",
+        keep_traces: bool = True,
+        segments_fn: Optional[Callable[..., Iterator[VideoSegment]]] = None,
+    ):
+        if on_overflow not in ("drop", "raise"):
+            raise ConfigurationError("on_overflow must be 'drop' or 'raise'")
+        self.workload = workload
+        self.source = source
+        self.policy = policy
+        self.buffer_capacity_bytes = int(buffer_capacity_bytes)
+        self.stream_id = stream_id or source.stream_id
+        self.on_overflow = on_overflow
+        self.keep_traces = keep_traces
+        self._segments_fn = segments_fn
+
+        self._runtime_scale = getattr(workload, "runtime_scale", None)
+        self._quality_weight = getattr(workload, "quality_weight", None)
+
+        self.index = 0
+        self.result: Optional[IngestionResult] = None
+        self.pending: Deque[_ReferencePending] = deque()
+        self.buffer_bytes = 0
+        self.last_reported_quality = 1.0
+        self.last_configuration_index = 0
+        self._last_decision_index: Optional[int] = None
+        self._segments: Optional[Iterator[VideoSegment]] = None
+
+    def start(self, start_time: float, end_time: float) -> None:
+        self.result = IngestionResult(
+            workload_name=self.workload.name,
+            policy_name=self.policy.name,
+            start_time=start_time,
+            end_time=end_time,
+            stream_id=self.stream_id,
+        )
+        self.pending.clear()
+        self.buffer_bytes = 0
+        self.last_reported_quality = 1.0
+        self.last_configuration_index = 0
+        self._last_decision_index = None
+        if self._segments_fn is not None:
+            self._segments = self._segments_fn(self.source, start_time, end_time)
+        else:
+            self._segments = self.source.segments(start_time, end_time)
+
+    def next_segment(self) -> Optional[VideoSegment]:
+        assert self._segments is not None
+        return next(self._segments, None)
+
+    def finalize(self) -> IngestionResult:
+        assert self.result is not None
+        self.result.traces.sort(key=lambda trace: trace.segment_index)
+        return self.result
+
+    def on_arrival(self, segment: VideoSegment) -> bool:
+        result = self.result
+        assert result is not None
+        arrival = segment.end_time
+        backlog_before = self.buffer_bytes
+
+        result.segments_total += 1
+        arrival_ordinal = result.segments_total - 1
+        weight = (
+            float(self._quality_weight(segment)) if self._quality_weight is not None else 1.0
+        )
+        result.total_quality_weight += weight
+
+        occupancy = backlog_before + segment.encoded_bytes
+        result.peak_buffer_bytes = max(result.peak_buffer_bytes, occupancy)
+        if occupancy > self.buffer_capacity_bytes:
+            result.overflowed = True
+            result.overflow_count += 1
+            if self.on_overflow == "raise":
+                from repro.errors import BufferOverflowError
+
+                raise BufferOverflowError(
+                    requested_bytes=segment.encoded_bytes,
+                    free_bytes=self.buffer_capacity_bytes - backlog_before,
+                    capacity_bytes=self.buffer_capacity_bytes,
+                )
+            result.segments_dropped += 1
+            if self.keep_traces:
+                result.traces.append(
+                    SegmentTrace(
+                        segment_index=segment.segment_index,
+                        arrival_time=arrival,
+                        start_time=arrival,
+                        finish_time=arrival,
+                        configuration_index=-1,
+                        configuration_label="<dropped>",
+                        cloud_tasks=0,
+                        runtime_seconds=0.0,
+                        work_core_seconds=0.0,
+                        cloud_dollars=0.0,
+                        reported_quality=0.0,
+                        true_quality=0.0,
+                        buffer_bytes=backlog_before,
+                        dropped=True,
+                    )
+                )
+            return False
+
+        self.buffer_bytes = occupancy
+        self.pending.append(
+            _ReferencePending(
+                segment=segment,
+                arrival_time=arrival,
+                occupancy_at_arrival=occupancy,
+                arrival_ordinal=arrival_ordinal,
+                weight=weight,
+            )
+        )
+        return True
+
+    def on_finish(self, released_bytes: int) -> None:
+        self.buffer_bytes -= released_bytes
+
+    def execute(
+        self,
+        entry: _ReferencePending,
+        decision_time: float,
+        cluster: ClusterSpec,
+        cloud_remaining: float,
+    ) -> Tuple[float, float]:
+        result = self.result
+        assert result is not None
+        segment = entry.segment
+        arrival = entry.arrival_time
+
+        bytes_per_second = self.source.bytes_per_second(segment.content)
+        lag_seconds = max(decision_time - arrival, 0.0)
+        estimated_backlog = int(entry.occupancy_at_arrival + lag_seconds * bytes_per_second)
+        context = DecisionContext(
+            segment=segment,
+            decision_time=decision_time,
+            backlog_bytes=min(estimated_backlog, self.buffer_capacity_bytes),
+            buffer_capacity_bytes=self.buffer_capacity_bytes,
+            bytes_per_second=bytes_per_second,
+            lag_seconds=lag_seconds,
+            cloud_budget_remaining=cloud_remaining,
+            last_reported_quality=self.last_reported_quality,
+            last_configuration_index=self.last_configuration_index,
+            segments_processed=entry.arrival_ordinal,
+        )
+        decision = self.policy.decide(context)
+        placement = decision.placement
+
+        if placement.cloud_dollars > cloud_remaining:
+            placement = decision.profile.on_prem_placement
+
+        scale = 1.0
+        if self._runtime_scale is not None:
+            scale = float(self._runtime_scale(decision.profile.configuration, segment))
+        runtime = placement.runtime_seconds * scale
+        extra = decision.extra_work_core_seconds
+        runtime += extra / cluster.cores
+
+        start = decision_time
+        finish = start + runtime
+
+        outcome = self.workload.evaluate(decision.profile.configuration, segment)
+        self.policy.observe(outcome, decision)
+
+        cloud_dollars = placement.cloud_dollars * scale
+        on_prem_work = placement.on_prem_core_seconds * scale + extra
+        cloud_work = placement.cloud_core_seconds * scale
+
+        result.total_true_quality += outcome.true_quality
+        result.total_reported_quality += outcome.reported_quality
+        result.total_weighted_quality += outcome.true_quality * entry.weight
+        result.total_entities += outcome.entities
+        result.on_prem_core_seconds += on_prem_work
+        result.cloud_core_seconds += cloud_work
+        result.cloud_dollars += cloud_dollars
+        result.total_lag_seconds += lag_seconds
+        result.max_lag_seconds = max(result.max_lag_seconds, lag_seconds)
+        label = decision.profile.configuration.short_label()
+        result.configuration_usage[label] = result.configuration_usage.get(label, 0) + 1
+        if (
+            self._last_decision_index is not None
+            and decision.configuration_index != self._last_decision_index
+        ):
+            result.switch_count += 1
+        self._last_decision_index = decision.configuration_index
+
+        self.last_reported_quality = outcome.reported_quality
+        self.last_configuration_index = decision.configuration_index
+
+        if self.keep_traces:
+            result.traces.append(
+                SegmentTrace(
+                    segment_index=segment.segment_index,
+                    arrival_time=arrival,
+                    start_time=start,
+                    finish_time=finish,
+                    configuration_index=decision.configuration_index,
+                    configuration_label=label,
+                    cloud_tasks=placement.cloud_task_count,
+                    runtime_seconds=runtime,
+                    work_core_seconds=on_prem_work + cloud_work,
+                    cloud_dollars=cloud_dollars,
+                    reported_quality=outcome.reported_quality,
+                    true_quality=outcome.true_quality,
+                    buffer_bytes=entry.occupancy_at_arrival,
+                    category=int(decision.metadata.get("category", -1))
+                    if "category" in decision.metadata
+                    else None,
+                )
+            )
+        return finish, cloud_dollars
+
+
+def reference_fleet_run(
+    streams: Sequence,
+    start_time: float,
+    end_time: float,
+    cluster: ClusterSpec,
+    cloud: Optional[CloudSpec] = None,
+    scheduler="fifo",
+    keep_traces: bool = True,
+    ledger=None,
+    segments_fn: Optional[Callable[..., Iterator[VideoSegment]]] = None,
+):
+    """Verbatim copy of the pre-columnar ``FleetEngine.run``.
+
+    ``streams`` is a sequence of :class:`~repro.core.fleet.FleetStream`;
+    ``segments_fn(source, start, end)`` overrides how each session reads its
+    segments (``None`` uses the live ``source.segments``).  Returns a
+    :class:`~repro.core.fleet.FleetResult`.
+    """
+    from repro.core.fleet import DailyBudgetLedger, FleetResult, make_scheduler
+
+    if end_time <= start_time:
+        raise ConfigurationError("end_time must be after start_time")
+    if not streams:
+        raise ConfigurationError("a fleet needs at least one stream")
+    cloud = cloud or CloudSpec()
+
+    sessions: List[_ReferenceSession] = []
+    seen_ids = {}
+    for index, stream in enumerate(streams):
+        session = _ReferenceSession(
+            workload=stream.workload,
+            source=stream.source,
+            policy=stream.policy,
+            buffer_capacity_bytes=stream.buffer_capacity_bytes,
+            stream_id=stream.stream_id,
+            on_overflow=stream.on_overflow,
+            keep_traces=keep_traces,
+            segments_fn=segments_fn,
+        )
+        if session.stream_id in seen_ids:
+            raise ConfigurationError(f"duplicate stream_id {session.stream_id!r} in fleet")
+        seen_ids[session.stream_id] = index
+        session.index = index
+        sessions.append(session)
+
+    resolved_scheduler = make_scheduler(scheduler)
+    shared_ledger = ledger if ledger is not None else DailyBudgetLedger(cloud.daily_budget_dollars)
+    stream_ledgers = [
+        stream.ledger if stream.ledger is not None else shared_ledger for stream in streams
+    ]
+
+    heap: List[Tuple[float, int, int, int, object]] = []
+    sequence = 0
+
+    def schedule(time: float, kind: int, session_index: int, payload) -> None:
+        nonlocal sequence
+        heapq.heappush(heap, (time, kind, sequence, session_index, payload))
+        sequence += 1
+
+    def schedule_next_arrival(session: _ReferenceSession) -> None:
+        segment = session.next_segment()
+        if segment is not None:
+            schedule(segment.end_time, _ARRIVAL, session.index, segment)
+
+    for session in sessions:
+        session.start(start_time, end_time)
+        schedule_next_arrival(session)
+
+    busy_until = start_time
+    while heap:
+        now = heap[0][0]
+        while heap and heap[0][0] == now:
+            _, kind, _, session_index, payload = heapq.heappop(heap)
+            session = sessions[session_index]
+            if kind == _FINISH:
+                session.on_finish(payload)
+            elif kind == _ARRIVAL:
+                session.on_arrival(payload)
+                schedule_next_arrival(session)
+        while busy_until <= now:
+            ready = [session for session in sessions if session.pending]
+            if not ready:
+                break
+            chosen = resolved_scheduler.select(ready, now)
+            stream_ledger = stream_ledgers[chosen.index]
+            entry = chosen.pending.popleft()
+            finish, cloud_dollars = chosen.execute(
+                entry, now, cluster, stream_ledger.remaining(now)
+            )
+            if cloud_dollars:
+                stream_ledger.charge(now, cloud_dollars)
+            busy_until = finish
+            schedule(finish, _FINISH, chosen.index, entry.segment.encoded_bytes)
+
+    return FleetResult(
+        scheduler=getattr(resolved_scheduler, "name", type(resolved_scheduler).__name__),
+        start_time=start_time,
+        end_time=end_time,
+        stream_results={session.stream_id: session.finalize() for session in sessions},
+        cloud_spend_by_day=dict(shared_ledger.spend_by_day),
+    )

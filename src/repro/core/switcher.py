@@ -19,6 +19,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.cluster.profiler import PlacementProfile
 from repro.core.categorizer import ContentCategorizer
+from repro.core.columnar import PlacementTable
 from repro.core.planner import KnobPlan
 from repro.core.profiles import ConfigurationProfile, ProfileSet
 
@@ -96,6 +97,22 @@ class KnobSwitcher:
             profiles.index_of(profile.configuration)
             for profile in profiles.by_quality_descending()
         ]
+        # The feasibility scan flattened into columns (the hot path of
+        # ``decide``); ``_select_feasible`` remains as the scalar reference
+        # the table is pinned against in tests.
+        self._placement_table = PlacementTable(
+            profiles,
+            self._quality_order,
+            segment_duration,
+            buffer_capacity_bytes,
+            safety_margin,
+        )
+        #: when ``False``, ``decide`` routes through the scalar
+        #: ``_select_feasible`` scan instead of the columnar table — the
+        #: pre-vectorization behaviour, kept switchable so the parity oracle
+        #: and ``benchmarks/bench_hotpath.py`` can run the frozen loop
+        #: against the columnar one on identical inputs.
+        self.use_columnar = True
 
     # ------------------------------------------------------------------ #
     # Plan management
@@ -156,10 +173,17 @@ class KnobSwitcher:
         planned_choice = int(np.argmax(deficits))
 
         # Step 3b: cheapest placement that does not overflow the buffer; fall
-        # back to less qualitative configurations if necessary.
-        choice, placement, fell_back = self._select_feasible(
-            planned_choice, backlog_bytes, bytes_per_second, cloud_budget_remaining
-        )
+        # back to less qualitative configurations if necessary.  The columnar
+        # table evaluates the same scan as ``_select_feasible`` in one masked
+        # reduction.
+        if self.use_columnar:
+            choice, placement, fell_back = self._placement_table.select(
+                planned_choice, backlog_bytes, bytes_per_second, cloud_budget_remaining
+            )
+        else:
+            choice, placement, fell_back = self._select_feasible(
+                planned_choice, backlog_bytes, bytes_per_second, cloud_budget_remaining
+            )
 
         self._usage_counts[category, choice] += 1.0
         return SwitchDecision(

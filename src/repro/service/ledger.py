@@ -97,10 +97,13 @@ class SharedDailyLedger:
             return
         if dollars < 0:
             raise ConfigurationError("cannot charge negative dollars")
-        # The day index is computed inside the lock so a charge racing the
-        # day boundary lands wholly in one bucket (atomic day-reset).
+        # The slot is a pure function of the ``time`` argument (not of wall
+        # clock or shared state), so it is computed outside the lock; only
+        # the read-modify-write of the bucket needs the critical section.
+        # A charge racing a day boundary still lands wholly in one bucket —
+        # the bucket choice was never lock-dependent.
+        slot = self._slot(self.day_of(time))
         with self._lock:
-            slot = self._slot(self.day_of(time))
             self._spend[slot] += dollars
 
     def try_charge(self, time: float, dollars: float) -> bool:
@@ -117,8 +120,8 @@ class SharedDailyLedger:
             if dollars:
                 self.charge(time, dollars)
             return True
+        slot = self._slot(self.day_of(time))
         with self._lock:
-            slot = self._slot(self.day_of(time))
             if self._spend[slot] + dollars > self.daily_budget_dollars + 1e-12:
                 return False
             self._spend[slot] += dollars

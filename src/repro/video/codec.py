@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.video.content import ContentState
 
@@ -83,6 +85,26 @@ class H264SizeModel:
         complexity = 1.0 + self.complexity_weight * (content.activity - 0.5)
         complexity = max(complexity, 0.3)
         return int(self.base_bytes_per_second * duration * resolution_scale * complexity)
+
+    def segment_bytes_array(
+        self,
+        duration: float,
+        width: int,
+        height: int,
+        activity: "np.ndarray",
+    ) -> "np.ndarray":
+        """Encoded sizes for a whole column of segments sharing one geometry.
+
+        Elementwise identical to :meth:`segment_bytes` (same association
+        order, truncation toward zero matches ``int()`` for the always
+        non-negative sizes).
+        """
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        resolution_scale = (width * height) / _REFERENCE_PIXELS
+        complexity = np.maximum(1.0 + self.complexity_weight * (activity - 0.5), 0.3)
+        sizes = self.base_bytes_per_second * duration * resolution_scale * complexity
+        return sizes.astype(np.int64)
 
     def cloud_frame_payload(self, width: int, height: int, tiles: int = 1) -> EncodedPayload:
         """Bytes transferred when shipping one (possibly tiled) frame to the cloud.

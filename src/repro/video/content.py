@@ -11,6 +11,16 @@ The model exposes :meth:`ContentModel.state_at`, a pure function of the
 timestamp (given the seed), so the "recorded two weeks of history" used in the
 offline phase and the "live stream" used in the online phase are guaranteed to
 come from the same underlying process, exactly as in the paper's setup.
+
+Since the columnar hot-path refactor the *batched*
+:meth:`ContentModel.states_at` is the one implementation of the content
+math: :meth:`state_at` evaluates a one-element batch, and every numpy ufunc
+used here is size-invariant on this code path, so scalar and batched
+queries of the same timestamp agree bit for bit.  Relative to the frozen
+pre-vectorization scalar math (kept in :mod:`repro.core.reference`) values
+may differ by a few ulps where ``np.exp``/``np.power`` and
+``math.exp``/``math.pow`` disagree in the last bit; the parity tests pin
+that tolerance.
 """
 
 from __future__ import annotations
@@ -25,6 +35,10 @@ from repro.errors import ConfigurationError
 
 SECONDS_PER_DAY = 86_400.0
 SECONDS_PER_HOUR = 3_600.0
+
+# Rows per chunk in the batched burst kernel: bounds the (rows x bursts)
+# active mask while leaving per-row results chunk-invariant.
+_BURST_BATCH_ROWS = 2_048
 
 
 @dataclass(frozen=True)
@@ -57,6 +71,40 @@ class ContentState:
         """Feature vector (density, occlusion, lighting, motion, load)."""
         return np.array(
             [self.object_density, self.occlusion, self.lighting, self.motion, self.stream_load]
+        )
+
+
+@dataclass(frozen=True)
+class ContentStateColumns:
+    """A batch of :class:`ContentState` values as parallel columns.
+
+    The columnar hot path keeps content as arrays end to end; callers that
+    need objects materialize individual rows with :meth:`state`.  Rows are
+    bit-identical to what :meth:`ContentModel.state_at` returns for the same
+    timestamp, because ``state_at`` *is* a one-row batch.
+    """
+
+    timestamp: np.ndarray
+    object_density: np.ndarray
+    occlusion: np.ndarray
+    lighting: np.ndarray
+    motion: np.ndarray
+    activity: np.ndarray
+    stream_load: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.timestamp.size)
+
+    def state(self, position: int) -> ContentState:
+        """Materialize one row as a plain :class:`ContentState`."""
+        return ContentState(
+            timestamp=float(self.timestamp[position]),
+            object_density=float(self.object_density[position]),
+            occlusion=float(self.occlusion[position]),
+            lighting=float(self.lighting[position]),
+            motion=float(self.motion[position]),
+            activity=float(self.activity[position]),
+            stream_load=float(self.stream_load[position]),
         )
 
 
@@ -94,6 +142,24 @@ class DiurnalProfile:
         daylight = 0.5 * (1.0 + math.cos((hour - 13.0) / 24.0 * 2.0 * math.pi))
         return float(0.15 + 0.85 * daylight)
 
+    def activity_at(self, timestamps: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`activity` over a timestamp column."""
+        hour = (np.asarray(timestamps, dtype=float) % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        daylight = 0.5 * (1.0 + np.cos((hour - 13.0) / 24.0 * 2.0 * math.pi))
+        base = self.night_level + (self.day_level - self.night_level) * daylight
+        for peak_hour in (self.morning_peak_hour, self.evening_peak_hour):
+            offset = np.abs(hour - peak_hour)
+            distance = np.minimum(offset, 24.0 - offset)
+            bump = np.exp(-0.5 * (distance / self.peak_width_hours) ** 2)
+            base = base + (self.peak_level - self.day_level) * bump
+        return np.minimum(np.maximum(base, 0.0), 1.0)
+
+    def lighting_at(self, timestamps: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`lighting` over a timestamp column."""
+        hour = (np.asarray(timestamps, dtype=float) % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        daylight = 0.5 * (1.0 + np.cos((hour - 13.0) / 24.0 * 2.0 * math.pi))
+        return 0.15 + 0.85 * daylight
+
 
 @dataclass(frozen=True)
 class SpikeSchedule:
@@ -123,6 +189,19 @@ class SpikeSchedule:
         rise = min(phase / ramp, 1.0)
         fall = min((self.duration_seconds - phase) / ramp, 1.0)
         return float(self.magnitude * min(rise, fall))
+
+    def intensity_at(self, timestamps: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`intensity` over a timestamp column."""
+        ts = np.asarray(timestamps, dtype=float)
+        if self.period_seconds <= 0:
+            return np.zeros(ts.shape, dtype=float)
+        phase = (ts - self.start_offset_seconds) % self.period_seconds
+        ramp = max(self.duration_seconds * 0.1, 1.0)
+        rise = np.minimum(phase / ramp, 1.0)
+        fall = np.minimum((self.duration_seconds - phase) / ramp, 1.0)
+        value = self.magnitude * np.minimum(rise, fall)
+        inactive = (phase < 0) | (phase >= self.duration_seconds)
+        return np.where(inactive, 0.0, value)
 
 
 @dataclass(frozen=True)
@@ -211,23 +290,55 @@ class ContentModel:
         )
 
     def state_at(self, timestamp: float, stream_load: Optional[float] = None) -> ContentState:
-        """Content state at an absolute stream time (seconds)."""
+        """Content state at an absolute stream time (seconds).
+
+        A one-row :meth:`states_at` batch: scalar and batched queries of the
+        same timestamp therefore agree bit for bit.
+        """
         if timestamp < 0:
             raise ConfigurationError("timestamp must be non-negative")
-        baseline = self.diurnal.activity(timestamp)
-        baseline += self.trend_per_day * (timestamp / SECONDS_PER_DAY)
-        burst = self._burst_intensity(timestamp)
-        spike = self.spikes.intensity(timestamp) if self.spikes is not None else 0.0
-        noise = self._smooth_noise(timestamp)
-        activity = _clip01(baseline + burst + spike + noise)
+        columns = self.states_at(np.array([timestamp], dtype=float), stream_load=stream_load)
+        return columns.state(0)
 
-        lighting = self.diurnal.lighting(timestamp)
-        object_density = _clip01(activity * (0.85 + 0.3 * burst))
-        occlusion = _clip01(activity**1.4 * (1.1 - 0.25 * lighting))
-        motion = _clip01(0.25 + 0.6 * activity + 0.4 * burst)
-        load = stream_load if stream_load is not None else _clip01(0.3 + 0.7 * activity + spike)
-        return ContentState(
-            timestamp=float(timestamp),
+    def states_at(
+        self,
+        timestamps: np.ndarray,
+        stream_load: Optional[float] = None,
+    ) -> ContentStateColumns:
+        """Content states for a whole timestamp column at once.
+
+        This is *the* implementation of the content math; :meth:`state_at`
+        and :meth:`states` delegate here.  All operations are elementwise
+        (per-row burst sums accumulate sequentially in burst-start order via
+        ``np.add.at``), so a row's values do not depend on the rest of the
+        batch.
+        """
+        ts = np.ascontiguousarray(np.asarray(timestamps, dtype=float))
+        if ts.ndim != 1:
+            raise ConfigurationError("timestamps must be a one-dimensional array")
+        if ts.size and float(ts.min()) < 0:
+            raise ConfigurationError("timestamp must be non-negative")
+        baseline = self.diurnal.activity_at(ts)
+        baseline = baseline + self.trend_per_day * (ts / SECONDS_PER_DAY)
+        burst = self._burst_intensity_at(ts)
+        spike = (
+            self.spikes.intensity_at(ts)
+            if self.spikes is not None
+            else np.zeros(ts.shape, dtype=float)
+        )
+        noise = self._smooth_noise_at(ts)
+        activity = _clip01_array(baseline + burst + spike + noise)
+
+        lighting = self.diurnal.lighting_at(ts)
+        object_density = _clip01_array(activity * (0.85 + 0.3 * burst))
+        occlusion = _clip01_array(activity**1.4 * (1.1 - 0.25 * lighting))
+        motion = _clip01_array(0.25 + 0.6 * activity + 0.4 * burst)
+        if stream_load is None:
+            load = _clip01_array(0.3 + 0.7 * activity + spike)
+        else:
+            load = np.full(ts.shape, float(stream_load))
+        return ContentStateColumns(
+            timestamp=ts,
             object_density=object_density,
             occlusion=occlusion,
             lighting=lighting,
@@ -245,27 +356,54 @@ class ContentModel:
         if end < start:
             raise ConfigurationError("end must not precede start")
         count = int(math.ceil((end - start) / step_seconds))
-        return [self.state_at(start + index * step_seconds) for index in range(count)]
+        grid = start + np.arange(count, dtype=float) * step_seconds
+        columns = self.states_at(grid)
+        return [columns.state(index) for index in range(count)]
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _burst_intensity(self, timestamp: float) -> float:
-        day = int(timestamp // SECONDS_PER_DAY)
-        total = 0.0
-        # A burst can straddle midnight, so also consider the previous day.
-        for candidate_day in (day - 1, day):
-            if candidate_day < 0:
-                continue
-            starts, durations, magnitudes = self._bursts_for_day(candidate_day)
-            if starts.size == 0:
-                continue
-            # Only bursts that have started and not yet ended contribute.
-            active = (starts <= timestamp) & (timestamp < starts + durations)
-            if not np.any(active):
-                continue
-            phase = (timestamp - starts[active]) / durations[active]
-            total += float(np.sum(magnitudes[active] * np.sin(np.pi * phase)))
+    def _burst_intensity_at(self, ts: np.ndarray) -> np.ndarray:
+        """Summed burst contributions per timestamp, batched.
+
+        Per row the contributions accumulate sequentially in burst-start
+        order (``np.add.at`` is unbuffered), so the value of a row never
+        depends on how the batch is chunked or what else is in it.
+        """
+        total = np.zeros(ts.shape, dtype=float)
+        if ts.size == 0:
+            return total
+        days = np.floor_divide(ts, SECONDS_PER_DAY).astype(np.int64)
+        for day in np.unique(days):
+            day_mask = days == day
+            sub = ts[day_mask]
+            acc = np.zeros(sub.shape, dtype=float)
+            # A burst can straddle midnight, so also consider the previous day.
+            for candidate_day in (int(day) - 1, int(day)):
+                if candidate_day < 0:
+                    continue
+                starts, durations, magnitudes = self._bursts_for_day(candidate_day)
+                if starts.size == 0:
+                    continue
+                ends = starts + durations
+                max_duration = float(durations.max())
+                for begin in range(0, sub.size, _BURST_BATCH_ROWS):
+                    piece = sub[begin : begin + _BURST_BATCH_ROWS]
+                    # Bursts are sorted by start, so only a window of them
+                    # can be active anywhere inside this piece.
+                    lo = int(np.searchsorted(starts, float(piece.min()) - max_duration))
+                    hi = int(np.searchsorted(starts, float(piece.max()), side="right"))
+                    if lo >= hi:
+                        continue
+                    t = piece[:, None]
+                    active = (starts[None, lo:hi] <= t) & (t < ends[None, lo:hi])
+                    rows, cols = np.nonzero(active)
+                    if rows.size == 0:
+                        continue
+                    phase = (piece[rows] - starts[lo + cols]) / durations[lo + cols]
+                    contributions = magnitudes[lo + cols] * np.sin(np.pi * phase)
+                    np.add.at(acc, begin + rows, contributions)
+            total[day_mask] = acc
         return total
 
     def _bursts_for_day(self, day: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -295,12 +433,16 @@ class ContentModel:
         self._burst_cache[day] = arrays
         return arrays
 
-    def _smooth_noise(self, timestamp: float) -> float:
-        value = 0.0
+    def _smooth_noise_at(self, ts: np.ndarray) -> np.ndarray:
+        value = np.zeros(ts.shape, dtype=float)
         for phase, period in zip(self._noise_phases, self._noise_periods):
-            value += math.sin(2.0 * math.pi * timestamp / period + phase)
+            value = value + np.sin(2.0 * math.pi * ts / period + phase)
         return self.noise_level * value / len(self._noise_phases)
 
 
 def _clip01(value: float) -> float:
     return float(min(max(value, 0.0), 1.0))
+
+
+def _clip01_array(values: np.ndarray) -> np.ndarray:
+    return np.minimum(np.maximum(values, 0.0), 1.0)

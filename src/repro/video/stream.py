@@ -18,8 +18,48 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.video.codec import H264SizeModel
-from repro.video.content import ContentModel, ContentState
+from repro.video.content import ContentModel, ContentState, ContentStateColumns
 from repro.video.frame import VideoSegment
+
+
+@dataclass(frozen=True)
+class SegmentColumns:
+    """A batch of consecutive segments of one source, stored as columns.
+
+    Produced by :meth:`SyntheticVideoSource.segment_columns`; row ``i``
+    materializes (via :meth:`segment`) to exactly the :class:`VideoSegment`
+    that :meth:`SyntheticVideoSource.segment_at` would build for
+    ``segment_index[i]``.
+    """
+
+    stream_id: str
+    duration: float
+    frame_rate: float
+    width: int
+    height: int
+    segment_index: np.ndarray
+    start_time: np.ndarray
+    encoded_bytes: np.ndarray
+    ground_truth_objects: np.ndarray
+    content: ContentStateColumns
+
+    def __len__(self) -> int:
+        return int(self.segment_index.size)
+
+    def segment(self, position: int) -> VideoSegment:
+        """Materialize row ``position`` as a :class:`VideoSegment`."""
+        return VideoSegment(
+            segment_index=int(self.segment_index[position]),
+            stream_id=self.stream_id,
+            start_time=float(self.start_time[position]),
+            duration=self.duration,
+            frame_rate=self.frame_rate,
+            width=self.width,
+            height=self.height,
+            content=self.content.state(position),
+            encoded_bytes=int(self.encoded_bytes[position]),
+            ground_truth_objects=int(self.ground_truth_objects[position]),
+        )
 
 
 @dataclass(frozen=True)
@@ -108,16 +148,53 @@ class SyntheticVideoSource:
             ground_truth_objects=ground_truth,
         )
 
-    def segments(self, start_time: float, end_time: float) -> Iterator[VideoSegment]:
-        """Yield every segment whose start lies in ``[start_time, end_time)``."""
+    def segment_index_columns(self, indices: np.ndarray) -> SegmentColumns:
+        """Batched :meth:`segment_at`: one columnar pass over many indices.
+
+        Row ``i`` equals ``segment_at(indices[i])`` bit for bit — the content
+        model, size model, and ground-truth rounding all run the same IEEE
+        expressions, just over columns.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and int(indices.min()) < 0:
+            raise ConfigurationError("segment_index must be non-negative")
+        starts = indices * self.config.segment_seconds
+        content = self.content_model.states_at(starts + self.config.segment_seconds / 2.0)
+        encoded = self.size_model.segment_bytes_array(
+            self.config.segment_seconds, self.config.width, self.config.height, content.activity
+        )
+        ground_truth = np.maximum(
+            np.round(content.object_density * self.config.max_objects), 0
+        ).astype(np.int64)
+        return SegmentColumns(
+            stream_id=self.config.stream_id,
+            duration=self.config.segment_seconds,
+            frame_rate=self.config.frame_rate,
+            width=self.config.width,
+            height=self.config.height,
+            segment_index=indices,
+            start_time=starts,
+            encoded_bytes=encoded,
+            ground_truth_objects=ground_truth,
+            content=content,
+        )
+
+    def segment_columns(self, start_time: float, end_time: float) -> SegmentColumns:
+        """Columns for every segment whose start lies in ``[start_time, end_time)``."""
         if end_time < start_time:
             raise ConfigurationError("end_time must not precede start_time")
         first = int(math.floor(start_time / self.config.segment_seconds))
         last = int(math.ceil(end_time / self.config.segment_seconds))
-        for index in range(first, last):
-            segment = self.segment_at(index)
-            if start_time <= segment.start_time < end_time:
-                yield segment
+        indices = np.arange(first, last, dtype=np.int64)
+        starts = indices * self.config.segment_seconds
+        keep = (start_time <= starts) & (starts < end_time)
+        return self.segment_index_columns(indices[keep])
+
+    def segments(self, start_time: float, end_time: float) -> Iterator[VideoSegment]:
+        """Yield every segment whose start lies in ``[start_time, end_time)``."""
+        columns = self.segment_columns(start_time, end_time)
+        for position in range(len(columns)):
+            yield columns.segment(position)
 
     def record(self, start_time: float, end_time: float) -> List[VideoSegment]:
         """Materialize a historical recording (used by the offline phase)."""

@@ -12,14 +12,16 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.interfaces import SegmentOutcome
 from repro.core.knobs import KnobConfiguration, KnobSpace
 from repro.errors import WorkloadError
 from repro.video.content import ContentModel
 from repro.video.frame import VideoSegment
-from repro.video.stream import StreamConfig, SyntheticVideoSource
+from repro.video.stream import SegmentColumns, StreamConfig, SyntheticVideoSource
 from repro.vision.dag import TaskGraph
 
 
@@ -72,6 +74,9 @@ class BaseWorkload:
         self.content_model = content_model
         self.stream_config = stream_config or StreamConfig(stream_id=f"{name}-camera")
         self._source = SyntheticVideoSource(content_model, self.stream_config)
+        # Per-configuration quality-model terms (robustness etc.) are pure
+        # functions of the configuration; memoize them across segments.
+        self._config_term_cache: Dict[Tuple[str, KnobConfiguration], float] = {}
 
     # ------------------------------------------------------------------ #
     # VETLWorkload protocol pieces shared by all workloads
@@ -105,10 +110,33 @@ class BaseWorkload:
     ) -> List[SegmentOutcome]:
         """Batched :meth:`evaluate` used by the offline pipeline.
 
-        The default loops; workloads whose quality model vectorizes over
-        segments may override this to process the whole batch at once.
+        Consecutive pairs sharing one configuration are grouped and routed
+        through :meth:`evaluate_config_batch`, so workloads whose quality
+        model vectorizes over segments (e.g. the EV counter) process whole
+        runs of segments with array ops.  Results keep the input order.
         """
-        return [self.evaluate(configuration, segment) for configuration, segment in pairs]
+        outcomes: List[SegmentOutcome] = []
+        position = 0
+        n_pairs = len(pairs)
+        while position < n_pairs:
+            configuration = pairs[position][0]
+            stop = position + 1
+            while stop < n_pairs and pairs[stop][0] == configuration:
+                stop += 1
+            segments = [segment for _, segment in pairs[position:stop]]
+            outcomes.extend(self.evaluate_config_batch(configuration, segments))
+            position = stop
+        return outcomes
+
+    def evaluate_config_batch(
+        self, configuration: KnobConfiguration, segments: Sequence[VideoSegment]
+    ) -> List[SegmentOutcome]:
+        """Evaluate many segments under one configuration.
+
+        The default loops :meth:`evaluate`; workloads whose quality model
+        vectorizes over segments override this.
+        """
+        return [self.evaluate(configuration, segment) for segment in segments]
 
     def quality_weight(self, segment: VideoSegment) -> float:
         """How much this segment contributes to the workload's quality metric.
@@ -119,6 +147,41 @@ class BaseWorkload:
         different notion of weight override this.
         """
         return float(max(segment.ground_truth_objects, 1))
+
+    def quality_weight_columns(self, columns: SegmentColumns) -> np.ndarray:
+        """Batched :meth:`quality_weight` over a whole segment batch.
+
+        Row ``i`` equals ``quality_weight(columns.segment(i))`` bit for bit.
+        Subclasses that override the scalar method but not this one fall
+        back to per-row scalar calls automatically, so custom weights stay
+        correct without a matching columnar override.
+        """
+        if type(self).quality_weight is not BaseWorkload.quality_weight:
+            return np.array(
+                [self.quality_weight(columns.segment(i)) for i in range(len(columns))],
+                dtype=float,
+            )
+        return np.maximum(columns.ground_truth_objects, 1).astype(float)
+
+    # ------------------------------------------------------------------ #
+    # Per-configuration memoization
+    # ------------------------------------------------------------------ #
+    def _config_term(
+        self, key: str, configuration: KnobConfiguration, compute: Callable[[KnobConfiguration], float]
+    ) -> float:
+        """Memoized per-configuration quality-model term.
+
+        ``compute(configuration)`` must be a pure function of the
+        configuration; the cached value is returned on every later call with
+        the same ``key``/configuration, which removes the dominant repeated
+        work (log/dict lookups) from per-segment ``evaluate`` calls.
+        """
+        cache_key = (key, configuration)
+        value = self._config_term_cache.get(cache_key)
+        if value is None:
+            value = compute(configuration)
+            self._config_term_cache[cache_key] = value
+        return value
 
     # ------------------------------------------------------------------ #
     # Deterministic noise

@@ -208,7 +208,7 @@ class CovidWorkload(BaseWorkload):
         tiles_per_side = int(configuration["tiles"])
         content = segment.content
 
-        robustness = self._robustness(configuration)
+        robustness = self._config_term("robustness", configuration, self._robustness)
         difficulty = self._difficulty(segment)
         # Cheap configurations lose a small fraction even on easy content
         # (missed small/fast pedestrians); difficult content amplifies the gap.

@@ -9,7 +9,9 @@ how often the detector runs and which YOLO variant to use.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.interfaces import SegmentOutcome
 from repro.core.knobs import KnobConfiguration, KnobSpace
@@ -149,21 +151,60 @@ class EVCountingWorkload(BaseWorkload):
             0.85 * content.occlusion + 0.2 * (1.0 - content.lighting) * content.object_density
         )
 
+    def _easy_factor(self, configuration: KnobConfiguration) -> float:
+        variant = get_model_variant("yolo", str(configuration["yolo_size"]))
+        easy_loss = 1.0 - variant.base_accuracy * 0.5 - 0.5
+        return 1.0 - max(easy_loss, 0.0)
+
     def evaluate(
         self, configuration: KnobConfiguration, segment: VideoSegment
     ) -> SegmentOutcome:
-        robustness = self._robustness(configuration)
+        robustness = self._config_term("robustness", configuration, self._robustness)
         difficulty = self._difficulty(segment)
-        variant = get_model_variant("yolo", str(configuration["yolo_size"]))
-        easy_loss = 1.0 - variant.base_accuracy * 0.5 - 0.5
-        captured = self._clip01((1.0 - difficulty * (1.0 - robustness)) * (1.0 - max(easy_loss, 0.0)))
+        easy_factor = self._config_term("easy_factor", configuration, self._easy_factor)
+        captured = self._clip01((1.0 - difficulty * (1.0 - robustness)) * easy_factor)
 
         noise = self._noise(configuration, segment, "quality", 0.02)
         true_quality = self._clip01(captured + noise)
         reported_quality = self._clip01(
             captured + self._noise(configuration, segment, "report", 0.03)
         )
+        return self._package_outcome(segment, true_quality, reported_quality)
 
+    def evaluate_config_batch(
+        self, configuration: KnobConfiguration, segments: Sequence[VideoSegment]
+    ) -> List[SegmentOutcome]:
+        """Vectorized quality model over a run of segments (one configuration).
+
+        The captured-quality expression uses only elementwise ``+``/``-``/
+        ``*`` and clips, so the array path is bit-for-bit identical to
+        :meth:`evaluate`; only the deterministic per-segment noise stays a
+        scalar loop (it is a hash).
+        """
+        robustness = self._config_term("robustness", configuration, self._robustness)
+        easy_factor = self._config_term("easy_factor", configuration, self._easy_factor)
+        occlusion = np.array([segment.content.occlusion for segment in segments])
+        lighting = np.array([segment.content.lighting for segment in segments])
+        density = np.array([segment.content.object_density for segment in segments])
+        difficulty = np.minimum(
+            np.maximum(0.85 * occlusion + 0.2 * (1.0 - lighting) * density, 0.0), 1.0
+        )
+        captured = np.minimum(
+            np.maximum((1.0 - difficulty * (1.0 - robustness)) * easy_factor, 0.0), 1.0
+        )
+        outcomes: List[SegmentOutcome] = []
+        for position, segment in enumerate(segments):
+            base = float(captured[position])
+            true_quality = self._clip01(base + self._noise(configuration, segment, "quality", 0.02))
+            reported_quality = self._clip01(
+                base + self._noise(configuration, segment, "report", 0.03)
+            )
+            outcomes.append(self._package_outcome(segment, true_quality, reported_quality))
+        return outcomes
+
+    def _package_outcome(
+        self, segment: VideoSegment, true_quality: float, reported_quality: float
+    ) -> SegmentOutcome:
         cars = segment.ground_truth_objects
         counted = int(round(cars * true_quality))
         ev_count = int(round(counted * _EV_FRACTION))

@@ -22,8 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.errors import ConfigurationError
-from repro.video.content import ContentModel, ContentState
+from repro.video.content import ContentModel, ContentState, ContentStateColumns
 from repro.video.stream import SyntheticVideoSource
 from repro.workloads.base import WorkloadSetup
 
@@ -55,9 +57,16 @@ class PhaseShiftedContentModel:
         state = self.base.state_at(timestamp + self.shift_seconds, stream_load)
         return replace(state, timestamp=float(timestamp))
 
+    def states_at(
+        self, timestamps: "np.ndarray", stream_load: Optional[float] = None
+    ) -> ContentStateColumns:
+        ts = np.asarray(timestamps, dtype=float)
+        columns = self.base.states_at(ts + self.shift_seconds, stream_load)
+        return replace(columns, timestamp=ts)
+
     def states(self, start: float, end: float, step_seconds: float) -> List[ContentState]:
         # Delegate to the one sampling implementation (it only needs
-        # ``state_at``) so shifted cameras sample the exact same grid.
+        # ``states_at``) so shifted cameras sample the exact same grid.
         return ContentModel.states(self, start, end, step_seconds)
 
 

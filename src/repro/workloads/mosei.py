@@ -20,12 +20,14 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from repro.core.interfaces import SegmentOutcome
 from repro.core.knobs import KnobConfiguration, KnobSpace
 from repro.errors import ConfigurationError
 from repro.video.content import ContentModel, DiurnalProfile, SpikeSchedule
 from repro.video.frame import VideoSegment
-from repro.video.stream import StreamConfig
+from repro.video.stream import SegmentColumns, StreamConfig
 from repro.vision.classifier import SimulatedClassifier
 from repro.vision.dag import Task, TaskGraph
 from repro.vision.embedding import SimulatedEmbedder
@@ -131,6 +133,11 @@ class MoseiWorkload(BaseWorkload):
         """MOSEI quality sums over live streams, so weight by the active count."""
         return float(self.active_streams(segment))
 
+    def quality_weight_columns(self, columns: SegmentColumns) -> np.ndarray:
+        """Batched active-stream weights (bit-for-bit the scalar rounding)."""
+        active = np.maximum(np.round(columns.content.stream_load * MAX_STREAMS), 1)
+        return active.astype(float)
+
     def runtime_scale(self, configuration: KnobConfiguration, segment: VideoSegment) -> float:
         """Scale the profiled runtime by the actual number of analyzed streams.
 
@@ -197,17 +204,19 @@ class MoseiWorkload(BaseWorkload):
     # ------------------------------------------------------------------ #
     # Quality model
     # ------------------------------------------------------------------ #
-    def _per_stream_accuracy(
-        self, configuration: KnobConfiguration, segment: VideoSegment
-    ) -> float:
+    def _robustness(self, configuration: KnobConfiguration) -> float:
         sentence_skip = int(configuration["sentence_skip"])
         frame_fraction = int(configuration["frame_fraction"]) / 6.0
         model_size = str(configuration["model_size"])
-        content = segment.content
-
         size_term = {"small": 0.0, "medium": 0.6, "large": 1.0}[model_size]
         evidence = (1.0 / (1.0 + sentence_skip)) ** 0.5 * frame_fraction**0.3
-        robustness = self._clip01(0.45 * size_term + 0.55 * evidence)
+        return self._clip01(0.45 * size_term + 0.55 * evidence)
+
+    def _per_stream_accuracy(
+        self, configuration: KnobConfiguration, segment: VideoSegment
+    ) -> float:
+        content = segment.content
+        robustness = self._config_term("robustness", configuration, self._robustness)
         # Sentiment volatility grows with activity (fast-paced streams).
         difficulty = self._clip01(0.55 * content.activity + 0.25 * content.motion)
         base = 0.95 - 0.35 * difficulty * (1.0 - robustness) - 0.12 * (1.0 - robustness)

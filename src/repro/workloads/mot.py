@@ -170,7 +170,7 @@ class MotWorkload(BaseWorkload):
     def evaluate(
         self, configuration: KnobConfiguration, segment: VideoSegment
     ) -> SegmentOutcome:
-        robustness = self._robustness(configuration)
+        robustness = self._config_term("robustness", configuration, self._robustness)
         difficulty = self._difficulty(segment)
         size_term = {"small": 0.06, "medium": 0.03, "large": 0.0}[str(configuration["model_size"])]
         captured = self._clip01((1.0 - difficulty * (1.0 - robustness)) * (1.0 - size_term))
