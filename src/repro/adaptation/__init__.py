@@ -1,0 +1,37 @@
+"""Online adaptation: drift detection + staged incremental re-fits.
+
+The offline phase (:mod:`repro.core.offline`) is fit-once; this package is
+the re-learning loop a production deployment needs when content shifts.  The
+:class:`DriftMonitor` watches the online phase's only observables — the
+categorizer's classification confidence and the mismatch between the planned
+content distribution and what actually arrives — through CUSUM change
+detectors with hysteresis.  On a trigger, the :class:`StagedRefitter` re-runs
+the offline pipeline against the content-addressed stage cache with the
+history-labeling window extended to "now": profiles unchanged means only
+``label_history`` and ``train_forecaster`` actually re-run, and the MLP
+forecaster is warm-started from the previous weights.
+
+:class:`AdaptiveSkyscraperPolicy` ties the two together behind the standard
+policy protocol; with ``drift_monitor=None`` it is bit-for-bit identical to
+the plain :class:`~repro.core.policy.SkyscraperPolicy`.
+"""
+
+from repro.adaptation.drift import (
+    CusumDetector,
+    DriftConfig,
+    DriftMonitor,
+    DriftTrigger,
+)
+from repro.adaptation.policy import AdaptiveSkyscraperPolicy, build_adaptive_policy
+from repro.adaptation.refit import RefitReport, StagedRefitter
+
+__all__ = [
+    "AdaptiveSkyscraperPolicy",
+    "CusumDetector",
+    "DriftConfig",
+    "DriftMonitor",
+    "DriftTrigger",
+    "RefitReport",
+    "StagedRefitter",
+    "build_adaptive_policy",
+]

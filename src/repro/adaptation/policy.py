@@ -1,0 +1,222 @@
+"""The adaptive online policy: Skyscraper + drift monitor + staged re-fits.
+
+:class:`AdaptiveSkyscraperPolicy` is a strict superset of
+:class:`~repro.core.policy.SkyscraperPolicy`.  Every adaptive code path is
+gated on ``drift_monitor is not None``; with the monitor disabled the policy
+is bit-for-bit the static policy (a property the regression tests pin), so
+the adaptive machinery can ship enabled-by-flag without perturbing existing
+results.
+
+Per processed segment the policy feeds the categorizer's classification
+residual to the monitor's confidence channel; every ``forecast_check_segments``
+segments it compares the realized category histogram against the forecast the
+current plan was built from and feeds the MAE to the forecast channel.  On a
+trigger it re-plans immediately and, when a :class:`StagedRefitter` is
+attached, first runs a staged incremental re-fit and adopts the refreshed
+categorizer and (warm-started) forecaster — the profiles are untouched, which
+is exactly why the re-fit's sampling/clustering stages come back as stage-
+cache hits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.adaptation.drift import DriftConfig, DriftMonitor, DriftTrigger
+from repro.adaptation.refit import RefitReport, StagedRefitter
+from repro.core.engine import DecisionContext, PolicyDecision
+from repro.core.interfaces import SegmentOutcome
+from repro.core.offline import OfflineFitResult
+from repro.core.policy import SkyscraperPolicy
+
+
+class AdaptiveSkyscraperPolicy(SkyscraperPolicy):
+    """Skyscraper's online policy with drift-triggered re-planning/re-fitting.
+
+    Accepts every :class:`SkyscraperPolicy` argument plus:
+
+    Args:
+        drift_monitor: the CUSUM monitor; ``None`` disables all adaptive
+            behavior (the policy is then identical to the static one).
+        refitter: staged re-fitter invoked on triggers; ``None`` degrades to
+            monitor-only mode (triggers force an early re-plan but no re-fit).
+        max_refits: cap on re-fits per run (re-planning is not capped).
+        forecast_check_segments: how many processed segments between forecast
+            -error checks (also the realized-histogram window length).
+    """
+
+    name = "skyscraper_adaptive"
+
+    def __init__(
+        self,
+        *args,
+        drift_monitor: Optional[DriftMonitor] = None,
+        refitter: Optional[StagedRefitter] = None,
+        max_refits: int = 2,
+        forecast_check_segments: int = 32,
+        **kwargs,
+    ):
+        self.drift_monitor = drift_monitor
+        self.refitter = refitter
+        self.max_refits = int(max_refits)
+        self.forecast_check_segments = max(int(forecast_check_segments), 1)
+        super().__init__(*args, **kwargs)
+
+        initial = kwargs.get("initial_forecast")
+        if initial is not None:
+            self._plan_forecast: Optional[np.ndarray] = np.asarray(initial, dtype=float)
+        else:
+            n = self.categorizer.actual_categories
+            self._plan_forecast = np.full(n, 1.0 / n)
+        self._recent_categories: Deque[int] = deque(maxlen=self.forecast_check_segments)
+        self._observed_segments = 0
+        self._now: Optional[float] = None
+        self.drift_triggers = 0
+        self.refits = 0
+        self.trigger_log: List[DriftTrigger] = []
+        self._refit_reports: List[RefitReport] = []
+
+    # ------------------------------------------------------------------ #
+    # Policy protocol
+    # ------------------------------------------------------------------ #
+    def decide(self, context: DecisionContext) -> PolicyDecision:
+        self._now = context.decision_time
+        return super().decide(context)
+
+    def observe(self, outcome: SegmentOutcome, decision: PolicyDecision) -> None:
+        if self.drift_monitor is None:
+            return None
+        score = self.categorizer.classification_score(
+            decision.configuration_index, outcome.reported_quality
+        )
+        self._recent_categories.append(score.category)
+        self._observed_segments += 1
+        trigger = self.drift_monitor.observe_confidence(score.residual)
+        if trigger is None:
+            trigger = self.drift_monitor.observe_quality(outcome.reported_quality)
+        if trigger is None and self._observed_segments % self.forecast_check_segments == 0:
+            mae = self._forecast_error()
+            if mae is not None:
+                trigger = self.drift_monitor.observe_forecast_error(mae)
+        if trigger is not None:
+            self._on_drift(trigger)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Drift handling
+    # ------------------------------------------------------------------ #
+    def _forecast_error(self) -> Optional[float]:
+        """MAE between the plan's forecast and the realized recent histogram."""
+        forecast = self._plan_forecast
+        n_categories = self.categorizer.actual_categories
+        if forecast is None or forecast.size != n_categories:
+            return None
+        if len(self._recent_categories) < self.forecast_check_segments:
+            return None
+        realized = self._labels_to_histogram(list(self._recent_categories), n_categories)
+        return float(np.mean(np.abs(realized - forecast)))
+
+    def _on_drift(self, trigger: DriftTrigger) -> None:
+        self.drift_triggers += 1
+        self.trigger_log.append(trigger)
+        now = self._now if self._now is not None else 0.0
+        if self.refitter is not None and self.refits < self.max_refits:
+            result = self.refitter.refit(now, warm_start=self.forecaster)
+            self._refit_reports.append(self.refitter.reports[-1])
+            self._adopt(result)
+            self.refits += 1
+        # Whether or not a re-fit ran, the current plan was built for the old
+        # content mix: re-plan now and restart the planning clock.
+        self._replan(now)
+        self._next_planning_time = now + self.planned_interval_seconds
+        self.drift_monitor.rebaseline()
+        self._recent_categories.clear()
+
+    def _adopt(self, result: OfflineFitResult) -> None:
+        """Install a re-fit's categorizer/forecaster; profiles stay in place."""
+        self.categorizer = result.categorizer
+        self.switcher.categorizer = result.categorizer
+        if result.forecaster is not None:
+            self.forecaster = result.forecaster
+        # Cache-hit re-fits reproduce the same centers, but refresh the
+        # planner's per-category qualities in case the clustering moved.
+        self.profiles.set_category_qualities(result.categorizer.centers.T)
+
+    def _forecast(self, now: float) -> np.ndarray:
+        forecast = super()._forecast(now)
+        self._plan_forecast = np.asarray(forecast, dtype=float)
+        return forecast
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def ingestion_metrics(self) -> dict:
+        """End-of-run counters surfaced into ``IngestionResult.policy_metrics``."""
+        if self.drift_monitor is None:
+            return {}
+        return {
+            "drift_triggers": float(self.drift_triggers),
+            "refits": float(self.refits),
+            "refit_stage_cache_hits": float(
+                sum(report.cache_hit_count for report in self._refit_reports)
+            ),
+            "refit_wall_seconds": float(
+                sum(report.wall_seconds for report in self._refit_reports)
+            ),
+            "replans": float(self.replans),
+            "drift_confidence_observations": float(
+                self.drift_monitor.confidence.observations
+            ),
+            "drift_forecast_observations": float(self.drift_monitor.forecast.observations),
+            "drift_quality_observations": float(self.drift_monitor.quality.observations),
+        }
+
+
+def build_adaptive_policy(
+    skyscraper,
+    segment_seconds: float,
+    monitor: bool = True,
+    refit: bool = True,
+    confidence: Optional[DriftConfig] = None,
+    forecast: Optional[DriftConfig] = None,
+    quality: Optional[DriftConfig] = None,
+    max_refits: int = 2,
+    forecast_check_segments: int = 32,
+    fine_tune_epochs: int = 60,
+    stage_cache_dir=None,
+) -> AdaptiveSkyscraperPolicy:
+    """Assemble an adaptive policy from a fitted :class:`Skyscraper`.
+
+    ``monitor=False`` yields the static-equivalent policy (useful for parity
+    tests); ``refit=False`` — or a Skyscraper restored from artifacts, which
+    cannot rebuild its fit pipeline — yields monitor-only adaptation where
+    triggers force early re-plans without re-fitting.
+    """
+    drift_monitor = (
+        DriftMonitor(confidence=confidence, forecast=forecast, quality=quality)
+        if monitor
+        else None
+    )
+    refitter = None
+    if (
+        monitor
+        and refit
+        and skyscraper.fit_params is not None
+        and skyscraper.fit_source is not None
+    ):
+        refitter = StagedRefitter.from_skyscraper(
+            skyscraper,
+            stage_cache_dir=stage_cache_dir,
+            fine_tune_epochs=fine_tune_epochs,
+        )
+    return skyscraper.build_policy(
+        segment_seconds,
+        policy_class=AdaptiveSkyscraperPolicy,
+        drift_monitor=drift_monitor,
+        refitter=refitter,
+        max_refits=max_refits,
+        forecast_check_segments=forecast_check_segments,
+    )

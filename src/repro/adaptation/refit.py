@@ -1,0 +1,219 @@
+"""Staged incremental re-fits of the offline phase, driven by drift triggers.
+
+A re-fit is not a new algorithm — it is the *same* :class:`OfflinePipeline`
+run again with the history-labeling window extended to "now" and the previous
+forecaster offered as a warm start.  Everything else falls out of the
+content-addressed :class:`~repro.core.offline.StageCache`:
+
+* ``sample_segments``, ``filter_configurations`` and ``content_categories``
+  see identical key material, so they are served from the cache (profiles
+  unchanged);
+* ``label_history`` keys on the extended window and re-runs, producing the
+  longer label series;
+* ``train_forecaster`` keys on the new labels digest (and the warm-start
+  weight digests), so it re-runs as a short fine-tune instead of a cold fit.
+
+The :class:`StagedRefitter` packages the pipeline construction plus the
+bookkeeping (:class:`RefitReport`) the adaptive policy reports as metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.cluster.resources import CloudSpec
+from repro.core.forecaster import ContentForecaster
+from repro.core.interfaces import VETLWorkload
+from repro.core.offline import (
+    EvaluationCache,
+    OfflineFitParams,
+    OfflineFitResult,
+    OfflinePipeline,
+)
+from repro.video.stream import SyntheticVideoSource
+
+SECONDS_PER_DAY = 86_400.0
+
+#: Stages a profiles-unchanged re-fit is expected to serve from the cache.
+REUSED_STAGES = ("sample_segments", "filter_configurations", "content_categories")
+
+#: Stages a re-fit actually re-runs (the extended window invalidates them).
+REFIT_STAGES = ("label_history", "train_forecaster")
+
+
+@dataclass
+class RefitReport:
+    """What one staged re-fit did, summarized for telemetry.
+
+    Attributes:
+        refit_time_seconds: simulated stream time the re-fit was issued at.
+        label_window_end_days: where the labeling window was extended to.
+        warm_started: whether the forecaster fine-tuned from previous weights.
+        stage_cache_hits: per-stage cache-hit flags from the pipeline report.
+        stage_runtimes_seconds: per-stage wall runtimes from the pipeline.
+        wall_seconds: total wall time of the re-fit.
+    """
+
+    refit_time_seconds: float
+    label_window_end_days: float
+    warm_started: bool
+    stage_cache_hits: Dict[str, bool] = field(default_factory=dict)
+    stage_runtimes_seconds: Dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def cache_hit_count(self) -> int:
+        """Number of stages served from the stage cache."""
+        return sum(1 for hit in self.stage_cache_hits.values() if hit)
+
+
+class StagedRefitter:
+    """Re-runs the offline pipeline incrementally against its stage cache.
+
+    Built once per adaptive policy (usually via :meth:`from_skyscraper`) and
+    invoked on every drift trigger.  The refitter keeps one shared
+    :class:`EvaluationCache` so repeated re-fits do not re-evaluate segments
+    the previous re-fit already processed.
+
+    Args:
+        workload: the user's V-ETL job.
+        source: the video source the original fit ran on (re-fits label the
+            *shared* recorded stream, consistent with fleet-wide artifacts).
+        cores: on-premise cores of the provisioned machine.
+        cloud: cloud specification for placement profiling.
+        n_categories: requested number of content categories.
+        categorizer_method: ``"kmeans"`` or ``"gmm"``.
+        forecaster_splits: number of forecaster input histograms.
+        planned_interval_seconds: the planner period the forecaster predicts.
+        seed: the original fit's base seed (keeps cache keys aligned).
+        params: the original fit's :class:`OfflineFitParams`.
+        stage_cache_dir: the stage cache the original fit populated; without
+            it a re-fit still works but re-runs every stage.
+        fine_tune_epochs: forecaster epochs when a warm start is accepted
+            (cold re-fits use the forecaster's own default).
+        evaluation_cache: optional pre-existing shared evaluation cache.
+    """
+
+    def __init__(
+        self,
+        workload: VETLWorkload,
+        source: SyntheticVideoSource,
+        cores: int,
+        cloud: Optional[CloudSpec] = None,
+        n_categories: int = 4,
+        categorizer_method: str = "kmeans",
+        forecaster_splits: int = 8,
+        planned_interval_seconds: float = 2 * SECONDS_PER_DAY,
+        seed: int = 0,
+        params: Optional[OfflineFitParams] = None,
+        stage_cache_dir: Optional[Union[str, Path]] = None,
+        fine_tune_epochs: int = 60,
+        evaluation_cache: Optional[EvaluationCache] = None,
+    ):
+        if fine_tune_epochs < 1:
+            raise ConfigurationError("fine_tune_epochs must be at least 1")
+        self.workload = workload
+        self.source = source
+        self.cores = int(cores)
+        self.cloud = cloud
+        self.n_categories = n_categories
+        self.categorizer_method = categorizer_method
+        self.forecaster_splits = forecaster_splits
+        self.planned_interval_seconds = planned_interval_seconds
+        self.seed = seed
+        self.params = params or OfflineFitParams()
+        self.stage_cache_dir = Path(stage_cache_dir) if stage_cache_dir is not None else None
+        self.fine_tune_epochs = int(fine_tune_epochs)
+        # `if ... is None` rather than `or`: an empty shared cache is falsy.
+        self.evaluations = (
+            evaluation_cache if evaluation_cache is not None else EvaluationCache(workload)
+        )
+        self.reports: list[RefitReport] = []
+
+    @classmethod
+    def from_skyscraper(
+        cls,
+        skyscraper,
+        stage_cache_dir: Optional[Union[str, Path]] = None,
+        fine_tune_epochs: int = 60,
+    ) -> "StagedRefitter":
+        """Build a refitter that reproduces ``skyscraper``'s last ``fit``.
+
+        The Skyscraper instance must have been fitted in-process (artifact
+        restores do not record how the fit was produced).
+        """
+        if skyscraper.fit_params is None or skyscraper.fit_source is None:
+            raise NotFittedError(
+                "StagedRefitter.from_skyscraper needs a Skyscraper whose fit() "
+                "ran in this process; instances restored from artifacts do not "
+                "record their fit parameters"
+            )
+        return cls(
+            workload=skyscraper.workload,
+            source=skyscraper.fit_source,
+            cores=skyscraper.resources.cores,
+            cloud=skyscraper.cloud,
+            n_categories=skyscraper.n_categories,
+            categorizer_method=skyscraper.categorizer_method,
+            forecaster_splits=skyscraper.forecaster_splits,
+            planned_interval_seconds=skyscraper.planned_interval_seconds,
+            seed=skyscraper.seed,
+            params=skyscraper.fit_params,
+            stage_cache_dir=(
+                stage_cache_dir
+                if stage_cache_dir is not None
+                else skyscraper.fit_stage_cache_dir
+            ),
+            fine_tune_epochs=fine_tune_epochs,
+        )
+
+    def refit(
+        self,
+        now_seconds: float,
+        warm_start: Optional[ContentForecaster] = None,
+    ) -> OfflineFitResult:
+        """Run one staged re-fit with labels extended up to ``now_seconds``.
+
+        Returns the full :class:`OfflineFitResult`; the matching
+        :class:`RefitReport` is appended to :attr:`reports`.
+        """
+        end_days = max(float(now_seconds) / SECONDS_PER_DAY, self.params.unlabeled_days)
+        params = replace(self.params, label_window_end_days=end_days)
+        pipeline = OfflinePipeline(
+            workload=self.workload,
+            source=self.source,
+            cores=self.cores,
+            cloud=self.cloud,
+            n_categories=self.n_categories,
+            categorizer_method=self.categorizer_method,
+            forecaster_splits=self.forecaster_splits,
+            planned_interval_seconds=self.planned_interval_seconds,
+            seed=self.seed,
+            params=params,
+            evaluation_cache=self.evaluations,
+            stage_cache_dir=self.stage_cache_dir,
+            warm_start_forecaster=warm_start,
+            forecaster_epochs=self.fine_tune_epochs if warm_start is not None else None,
+        )
+        started = time.perf_counter()
+        result = pipeline.run()
+        wall = time.perf_counter() - started
+        warm_started = bool(
+            warm_start is not None
+            and pipeline._warm_start_candidate(result.categorizer) is not None
+        )
+        self.reports.append(
+            RefitReport(
+                refit_time_seconds=float(now_seconds),
+                label_window_end_days=end_days,
+                warm_started=warm_started,
+                stage_cache_hits=dict(result.report.stage_cache_hits),
+                stage_runtimes_seconds=dict(result.report.stage_runtimes_seconds),
+                wall_seconds=wall,
+            )
+        )
+        return result

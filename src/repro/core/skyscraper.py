@@ -151,6 +151,12 @@ class Skyscraper:
         self.categorizer: Optional[ContentCategorizer] = None
         self.forecaster: Optional[ContentForecaster] = None
         self.report: Optional[OfflinePhaseReport] = None
+        # How the last fit was produced, recorded so staged re-fits can
+        # reconstruct an identical pipeline (and hit its stage cache).
+        # ``None`` when the instance was restored from artifacts.
+        self.fit_params: Optional[OfflineFitParams] = None
+        self.fit_source: Optional[SyntheticVideoSource] = None
+        self.fit_stage_cache_dir: Optional[Path] = None
 
     # ------------------------------------------------------------------ #
     # Offline phase (Section 3)
@@ -215,6 +221,11 @@ class Skyscraper:
         self.categorizer = result.categorizer
         self.forecaster = result.forecaster
         self.report = result.report
+        self.fit_params = pipeline.params
+        self.fit_source = source
+        self.fit_stage_cache_dir = (
+            Path(stage_cache_dir) if stage_cache_dir is not None else None
+        )
         return result.report
 
     def _label_history(
@@ -279,6 +290,9 @@ class Skyscraper:
         clone.categorizer = self.categorizer
         clone.forecaster = self.forecaster
         clone.report = self.report
+        clone.fit_params = self.fit_params
+        clone.fit_source = self.fit_source
+        clone.fit_stage_cache_dir = self.fit_stage_cache_dir
         clone.profiles = profile_configurations(
             self.workload,
             self.report.kept_configurations,
@@ -324,8 +338,18 @@ class Skyscraper:
             )
         return on_prem + cloud_core_seconds
 
-    def build_policy(self, segment_seconds: float) -> SkyscraperPolicy:
-        """Construct the online policy from the offline artifacts."""
+    def build_policy(
+        self,
+        segment_seconds: float,
+        policy_class: Optional[type] = None,
+        **policy_extras,
+    ) -> SkyscraperPolicy:
+        """Construct the online policy from the offline artifacts.
+
+        ``policy_class`` swaps in a :class:`SkyscraperPolicy` subclass (the
+        adaptive policy uses this); ``policy_extras`` are forwarded to its
+        constructor on top of the standard arguments.
+        """
         if self.profiles is None or self.categorizer is None or self.report is None:
             raise NotFittedError("Skyscraper.fit must run before building the online policy")
         planner = KnobPlanner(self.profiles, self.categorizer.actual_categories)
@@ -334,7 +358,9 @@ class Skyscraper:
             initial_forecast = np.full(
                 self.categorizer.actual_categories, 1.0 / self.categorizer.actual_categories
             )
-        return SkyscraperPolicy(
+        cls = policy_class or SkyscraperPolicy
+        return cls(
+            **policy_extras,
             profiles=self.profiles,
             categorizer=self.categorizer,
             planner=planner,

@@ -64,6 +64,13 @@ class ExperimentConfig:
     planned_interval_seconds: float = 2 * SECONDS_PER_DAY
     train_forecaster: bool = False
     max_configurations: int = 8
+    #: Forecaster look-back window in days; ``None`` keeps ``fit``'s default
+    #: (2 days).  Short-window experiments must shrink it or the forecast
+    #: dataset cannot produce a single training sample.
+    forecast_input_days: Optional[float] = None
+    #: Label period of the forecaster's history series in seconds; ``None``
+    #: keeps ``fit``'s default (60 s).
+    forecast_label_period_seconds: Optional[float] = None
     seed: int = 0
 
     @property
@@ -214,6 +221,11 @@ def prepare_bundle(
         planned_interval_seconds=config.planned_interval_seconds,
         seed=config.seed,
     )
+    fit_overrides = {}
+    if config.forecast_input_days is not None:
+        fit_overrides["forecast_input_days"] = config.forecast_input_days
+    if config.forecast_label_period_seconds is not None:
+        fit_overrides["forecast_label_period_seconds"] = config.forecast_label_period_seconds
     report = skyscraper.fit(
         setup.source,
         unlabeled_days=config.history_days,
@@ -221,6 +233,7 @@ def prepare_bundle(
         max_configurations=config.max_configurations,
         executor=fit_workers,
         stage_cache_dir=stage_cache_dir,
+        **fit_overrides,
     )
     if artifact_cache and cache_path is not None:
         skyscraper.export_artifacts().save(cache_path)

@@ -39,9 +39,12 @@ from repro.workloads.covid import make_covid_setup
 from repro.workloads.ev import make_ev_setup
 from repro.workloads.mosei import make_mosei_setup
 from repro.workloads.mot import make_mot_setup
+from repro.workloads.regime import make_regime_setup
 
-#: The evaluation workloads specs may request, by registry-style name.
-WORKLOAD_NAMES = ("covid", "mot", "mosei-high", "mosei-long", "ev")
+#: The evaluation workloads specs may request, by registry-style name
+#: ("ev-regime" is the regime-switching drift workload of the adaptation
+#: experiments, not part of the paper's five-workload evaluation sweep).
+WORKLOAD_NAMES = ("covid", "mot", "mosei-high", "mosei-long", "ev", "ev-regime")
 
 #: Window sizes per mode: full mode matches the legacy benchmark scale
 #: (12 h of history, ~1.2 h online); smoke mode is sized for CI.
@@ -69,6 +72,8 @@ def make_setup(
         )
     if workload_name == "ev":
         return make_ev_setup(history_days=history_days, online_days=online_days)
+    if workload_name == "ev-regime":
+        return make_regime_setup(history_days=history_days, online_days=online_days)
     raise ConfigurationError(
         f"unknown workload {workload_name!r}; expected one of {WORKLOAD_NAMES}"
     )

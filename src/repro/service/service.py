@@ -113,6 +113,10 @@ class ServiceConfig:
     cloud_budget_per_day: Optional[float] = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     collect_lags: bool = False
+    #: Run every stream under its drift-adaptive system variant (see
+    #: :func:`repro.registry.adaptive_system_name`); workers then surface
+    #: drift-trigger/re-fit counters in each job outcome's metrics.
+    adaptive: bool = False
     max_batch_size: Optional[int] = None
     poll_seconds: float = 0.01
     ledger_horizon_days: int = 4096
@@ -482,6 +486,7 @@ class FleetIngestionService:
                 buffer_bytes=self.config.buffer_bytes,
                 cloud_budget_per_day=self.config.cloud_budget_per_day,
                 collect_lags=self.config.collect_lags,
+                adaptive=self.config.adaptive,
             )
             process = context.Process(
                 target=worker_main,

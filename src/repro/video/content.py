@@ -205,6 +205,80 @@ class SpikeSchedule:
 
 
 @dataclass(frozen=True)
+class RegimeSchedule:
+    """A piecewise-constant content-regime schedule.
+
+    Splits the timeline into ``len(boundaries_seconds) + 1`` regimes; regime
+    ``r`` covers ``[boundaries_seconds[r-1], boundaries_seconds[r])``.  Each
+    regime adds a constant shift to the diurnal activity baseline and scales
+    the burst process, which is how the non-stationary workloads model e.g.
+    a construction site opening next to a traffic camera: the same diurnal
+    shape, but systematically busier and burstier content from one day on.
+
+    Attributes:
+        boundaries_seconds: sorted, strictly increasing regime-change times.
+        activity_shifts: per-regime additive activity offset
+            (``len(boundaries_seconds) + 1`` entries).
+        burst_scales: per-regime multiplicative factor on burst intensity
+            (``len(boundaries_seconds) + 1`` entries).
+    """
+
+    boundaries_seconds: Tuple[float, ...]
+    activity_shifts: Tuple[float, ...]
+    burst_scales: Tuple[float, ...]
+
+    def __post_init__(self):
+        boundaries = tuple(float(value) for value in self.boundaries_seconds)
+        if not boundaries:
+            raise ConfigurationError("a regime schedule needs at least one boundary")
+        if any(b <= 0 for b in boundaries):
+            raise ConfigurationError("regime boundaries must be positive")
+        if any(b1 <= b0 for b0, b1 in zip(boundaries, boundaries[1:])):
+            raise ConfigurationError("regime boundaries must be strictly increasing")
+        n_regimes = len(boundaries) + 1
+        if len(self.activity_shifts) != n_regimes:
+            raise ConfigurationError(
+                f"activity_shifts needs {n_regimes} entries (one per regime)"
+            )
+        if len(self.burst_scales) != n_regimes:
+            raise ConfigurationError(
+                f"burst_scales needs {n_regimes} entries (one per regime)"
+            )
+        if any(scale < 0 for scale in self.burst_scales):
+            raise ConfigurationError("burst_scales must be non-negative")
+        object.__setattr__(self, "boundaries_seconds", boundaries)
+        object.__setattr__(
+            self, "activity_shifts", tuple(float(v) for v in self.activity_shifts)
+        )
+        object.__setattr__(
+            self, "burst_scales", tuple(float(v) for v in self.burst_scales)
+        )
+
+    @property
+    def n_regimes(self) -> int:
+        return len(self.boundaries_seconds) + 1
+
+    def regime_at(self, timestamps: np.ndarray) -> np.ndarray:
+        """Regime index per timestamp (elementwise, batch-invariant)."""
+        ts = np.asarray(timestamps, dtype=float)
+        return np.searchsorted(
+            np.asarray(self.boundaries_seconds, dtype=float), ts, side="right"
+        )
+
+    def activity_shift_at(self, timestamps: np.ndarray) -> np.ndarray:
+        """Additive activity offset per timestamp."""
+        return np.asarray(self.activity_shifts, dtype=float)[self.regime_at(timestamps)]
+
+    def burst_scale_at(self, timestamps: np.ndarray) -> np.ndarray:
+        """Burst-intensity scale per timestamp."""
+        return np.asarray(self.burst_scales, dtype=float)[self.regime_at(timestamps)]
+
+    def as_payload(self) -> Tuple[Tuple[float, ...], ...]:
+        """Canonical tuple form used in content fingerprints (cache keys)."""
+        return (self.boundaries_seconds, self.activity_shifts, self.burst_scales)
+
+
+@dataclass(frozen=True)
 class _Burst:
     """A short random event (e.g. a pedestrian group passing the camera)."""
 
@@ -237,6 +311,9 @@ class ContentModel:
         spikes: optional deterministic spike schedule (MOSEI workloads).
         trend_per_day: linear drift of baseline activity per day, used by the
             forecaster tests to model slowly changing traffic levels.
+        regimes: optional piecewise-constant regime schedule; each regime
+            shifts the activity baseline and scales the burst process (the
+            non-stationary workloads the drift monitor is tested against).
     """
 
     def __init__(
@@ -249,6 +326,7 @@ class ContentModel:
         noise_level: float = 0.05,
         spikes: Optional[SpikeSchedule] = None,
         trend_per_day: float = 0.0,
+        regimes: Optional[RegimeSchedule] = None,
     ):
         if burst_rate_per_hour < 0:
             raise ConfigurationError("burst_rate_per_hour must be non-negative")
@@ -262,6 +340,7 @@ class ContentModel:
         self.noise_level = noise_level
         self.spikes = spikes
         self.trend_per_day = trend_per_day
+        self.regimes = regimes
         self._burst_cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         # Smooth background noise realized as a small sum of sinusoids with
         # seeded random phases; this keeps state_at a pure function of time.
@@ -287,6 +366,7 @@ class ContentModel:
             noise_level=self.noise_level,
             spikes=self.spikes,
             trend_per_day=self.trend_per_day,
+            regimes=self.regimes,
         )
 
     def state_at(self, timestamp: float, stream_load: Optional[float] = None) -> ContentState:
@@ -321,6 +401,10 @@ class ContentModel:
         baseline = self.diurnal.activity_at(ts)
         baseline = baseline + self.trend_per_day * (ts / SECONDS_PER_DAY)
         burst = self._burst_intensity_at(ts)
+        if self.regimes is not None:
+            regime = self.regimes.regime_at(ts)
+            baseline = baseline + np.asarray(self.regimes.activity_shifts, dtype=float)[regime]
+            burst = burst * np.asarray(self.regimes.burst_scales, dtype=float)[regime]
         spike = (
             self.spikes.intensity_at(ts)
             if self.spikes is not None

@@ -20,6 +20,7 @@ from repro.workloads.fleet import (
     make_fleet_scenario,
 )
 from repro.workloads.ev import EVCountingWorkload, make_ev_setup
+from repro.workloads.regime import RegimeShiftWorkload, make_regime_setup
 from repro.workloads.covid import CovidWorkload, make_covid_setup
 from repro.workloads.mot import MotWorkload, make_mot_setup
 from repro.workloads.mosei import MoseiWorkload, make_mosei_setup
@@ -33,6 +34,8 @@ __all__ = [
     "make_fleet_scenario",
     "EVCountingWorkload",
     "make_ev_setup",
+    "RegimeShiftWorkload",
+    "make_regime_setup",
     "CovidWorkload",
     "make_covid_setup",
     "MotWorkload",

@@ -1,0 +1,77 @@
+"""Adaptive machinery disabled == the static Skyscraper path, bit for bit.
+
+The adaptive policy is a strict superset of :class:`SkyscraperPolicy` whose
+every adaptive code path is gated on ``drift_monitor is not None``.  This
+file pins the gate: with the monitor off, ``skyscraper_adaptive`` must
+reproduce ``skyscraper`` exactly — same decisions, same telemetry, same
+traces — on a single stream and across every fleet scheduler, so shipping
+the adaptive machinery flag-disabled cannot perturb existing results.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.adaptation import AdaptiveSkyscraperPolicy, build_adaptive_policy
+from repro.experiments.runner import ExperimentRunner
+
+CORES = 4
+
+
+def _normalized(result):
+    """The result with the policy's name difference erased."""
+    return replace(result, policy_name="")
+
+
+@pytest.fixture(scope="module")
+def runner(regime_bundle) -> ExperimentRunner:
+    return ExperimentRunner(regime_bundle)
+
+
+def test_disabled_monitor_single_stream_parity(runner):
+    baseline = runner.run("skyscraper", cores=CORES, keep_traces=True)
+    adaptive = runner.run(
+        "skyscraper_adaptive", cores=CORES, keep_traces=True, monitor=False
+    )
+    assert baseline.policy_name == "skyscraper"
+    assert adaptive.policy_name == "skyscraper_adaptive"
+    assert _normalized(adaptive) == _normalized(baseline)
+    assert adaptive.policy_metrics == {}
+
+
+@pytest.mark.parametrize("scheduler", ["fifo", "round-robin", "lag-aware"])
+def test_disabled_monitor_fleet_parity(runner, scheduler):
+    baseline = runner.run_fleet(
+        "skyscraper", n_streams=3, scheduler=scheduler, cores=CORES, keep_traces=True
+    )
+    adaptive = runner.run_fleet(
+        "skyscraper_adaptive",
+        n_streams=3,
+        scheduler=scheduler,
+        cores=CORES,
+        keep_traces=True,
+        monitor=False,
+    )
+    assert sorted(baseline.stream_results) == sorted(adaptive.stream_results)
+    for stream_id, ours in adaptive.stream_results.items():
+        theirs = baseline.stream_results[stream_id]
+        assert _normalized(ours) == _normalized(theirs), (scheduler, stream_id)
+    assert baseline.cloud_spend_by_day == adaptive.cloud_spend_by_day
+
+
+def test_monitor_only_mode_reports_metrics(runner):
+    """``refit=False`` still monitors (and surfaces telemetry), it just
+    cannot re-fit — the mode artifact restores degrade to."""
+    result = runner.run("skyscraper_adaptive", cores=CORES, refit=False)
+    assert result.policy_metrics["refits"] == 0.0
+    assert result.policy_metrics["drift_confidence_observations"] > 0.0
+
+
+def test_build_adaptive_policy_without_monitor_builds_no_refitter(regime_bundle):
+    policy = build_adaptive_policy(
+        regime_bundle.skyscraper, segment_seconds=2.0, monitor=False
+    )
+    assert isinstance(policy, AdaptiveSkyscraperPolicy)
+    assert policy.drift_monitor is None
+    assert policy.refitter is None
+    assert policy.ingestion_metrics() == {}

@@ -1,0 +1,87 @@
+"""The service's ``--adaptive`` path: system mapping and metric surfacing.
+
+``WorkerConfig.adaptive`` upgrades every stream's system to its registered
+drift-adaptive variant (:func:`repro.registry.adaptive_system_name`) and the
+worker merges the adaptive policy's drift/re-fit counters into each job
+outcome's metrics.  Systems without an adaptive variant — and every run with
+the flag off — must be byte-identical to before the flag existed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry import adaptive_system_name
+from repro.service import FleetIngestionService, RetryPolicy, ServiceConfig
+from repro.service.jobs import SUCCESS
+from repro.service.ledger import SharedDailyLedger
+from repro.service.worker import JobAssignment, WorkerConfig, run_batch
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.fleet import make_fleet_scenario
+
+#: Drift counters the adaptive policy surfaces per job.
+ADAPTIVE_METRIC_KEYS = ("drift_triggers", "refits", "refit_stage_cache_hits")
+
+
+def test_adaptive_system_name_mapping():
+    assert adaptive_system_name("skyscraper") == "skyscraper_adaptive"
+    assert adaptive_system_name("static") == "static"
+    assert adaptive_system_name("skyscraper_adaptive") == "skyscraper_adaptive"
+    # Aliases resolve before mapping; unknown names pass through untouched.
+    assert adaptive_system_name("adaptive") == "skyscraper_adaptive"
+    assert adaptive_system_name("no-such-system") == "no-such-system"
+
+
+def _run(service_bundle, adaptive):
+    runner = ExperimentRunner(service_bundle)
+    scenario = make_fleet_scenario(
+        service_bundle.setup, 2, phase_shift_seconds=60.0
+    )
+    batch = [
+        JobAssignment(job_id=f"job-{index}", stream_id=spec.stream_id, attempt=1)
+        for index, spec in enumerate(scenario.streams)
+    ]
+    config = WorkerConfig(
+        shard_id=0, system="skyscraper", cores=4, adaptive=adaptive
+    )
+    ledger = SharedDailyLedger(daily_budget_dollars=2.0)
+    return run_batch(runner, scenario, ledger, config, batch)
+
+
+def test_run_batch_adaptive_surfaces_drift_metrics(service_bundle):
+    outcomes = _run(service_bundle, adaptive=True)
+    assert all(outcome.ok for outcome in outcomes)
+    for outcome in outcomes:
+        for key in ADAPTIVE_METRIC_KEYS:
+            assert key in outcome.metrics, key
+        assert outcome.metrics["drift_confidence_observations"] > 0.0
+
+
+def test_run_batch_without_adaptive_keeps_legacy_metrics(service_bundle):
+    """Flag off: same quality numbers, no adaptive keys in the payload."""
+    plain = _run(service_bundle, adaptive=False)
+    adaptive = _run(service_bundle, adaptive=True)
+    for theirs, ours in zip(plain, adaptive):
+        assert not any(key in theirs.metrics for key in ADAPTIVE_METRIC_KEYS)
+        # A quiet monitor (no triggers on this short stationary window)
+        # changes nothing about the decisions themselves.
+        assert ours.metrics["drift_triggers"] == 0.0
+        assert theirs.metrics["quality"] == ours.metrics["quality"]
+        assert theirs.metrics["segments_total"] == ours.metrics["segments_total"]
+
+
+def test_service_drains_adaptive_fleet(service_bundle):
+    """End to end through real worker processes with ``adaptive=True``."""
+    config = ServiceConfig(
+        n_shards=2,
+        system="skyscraper",
+        adaptive=True,
+        retry=RetryPolicy(max_retries=2, base_delay_seconds=0.01),
+    )
+    service = FleetIngestionService(service_bundle, config)
+    service.submit_fleet(n_streams=4)
+    report = service.run()
+    assert report.counts[SUCCESS] == 4
+    for job in service.store.list():
+        assert job.status == SUCCESS
+        assert "drift_triggers" in job.metrics
