@@ -16,12 +16,12 @@ Run with::
 
 from __future__ import annotations
 
-from repro.baselines.static import StaticPolicy, best_static_configuration
+from repro.baselines.static import StaticPolicy
 from repro.cluster.resources import ClusterSpec
 from repro.core.engine import IngestionEngine
 from repro.core.profiles import build_profiles
 from repro.video.content import ContentModel
-from repro.video.stream import StreamConfig, SyntheticVideoSource
+from repro.video.stream import StreamConfig
 from repro.warehouse.loader import EntityLoader
 from repro.warehouse.query import AggregateSpec
 from repro.workloads.ev import EVCountingWorkload

@@ -1,0 +1,55 @@
+"""repro-lint: AST-based invariant checks for the reproduction.
+
+The repo's headline guarantees — bit-for-bit hot-path parity, cross-process
+ledger conservation, content-addressed stage-cache reuse — are dynamic
+properties that a *new* unseeded RNG call or an out-of-lock buffer read can
+silently break without failing the tests that pinned them.  This package
+turns those implicit invariants into machine-checked rules that run at PR
+time over the AST of ``src/repro/**``::
+
+    PYTHONPATH=src python -m repro.analysis [--format json|text]
+                                            [--only RULE] [--baseline FILE]
+
+Rules register through :func:`~repro.analysis.engine.register_rule` (the
+same registry idiom as :func:`repro.registry.register_policy`); deliberate
+violations live in a committed, justification-carrying baseline
+(:mod:`repro.analysis.baseline`).  See the built-ins in
+:mod:`repro.analysis.rules`.
+"""
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    BaselineMatch,
+    load_baseline,
+    match_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    AnalysisResult,
+    Finding,
+    RuleSpec,
+    register_rule,
+    rule_names,
+    rule_spec,
+    run_rules,
+    unregister_rule,
+)
+from repro.analysis.project import Project, SourceModule
+
+__all__ = [
+    "AnalysisResult",
+    "BaselineEntry",
+    "BaselineMatch",
+    "Finding",
+    "Project",
+    "RuleSpec",
+    "SourceModule",
+    "load_baseline",
+    "match_baseline",
+    "register_rule",
+    "rule_names",
+    "rule_spec",
+    "run_rules",
+    "unregister_rule",
+    "write_baseline",
+]

@@ -1,0 +1,148 @@
+"""The committed exception list of the static analyzer.
+
+A baseline entry acknowledges one finding as *deliberate* — every entry must
+carry a non-empty ``justification`` saying why the violation is correct, so
+the file doubles as documentation of the repo's intentional exceptions.
+Entries are keyed by ``(rule, path, symbol)`` (never by line number), so a
+baseline survives unrelated edits to the file it points into.
+
+The baseline is strict in both directions: a finding without an entry fails
+the run, and an entry without a finding is *stale* and fails the run too —
+otherwise fixed violations would leave silent wildcards behind that mask the
+next regression at the same spot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.engine import Finding
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One acknowledged finding.
+
+    Attributes:
+        rule: rule id of the acknowledged finding.
+        path: repository-relative path it points into.
+        symbol: the finding's stable symbol.
+        justification: why this violation is deliberate (required).
+    """
+
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    @property
+    def key(self) -> str:
+        """Match key against :attr:`Finding.baseline_key`."""
+        return f"{self.rule}::{self.path}::{self.symbol}"
+
+
+@dataclass
+class BaselineMatch:
+    """Result of filtering findings through a baseline.
+
+    Attributes:
+        active: findings not covered by the baseline (these fail the run).
+        suppressed: findings matched by an entry.
+        stale: entries that matched no current finding (these fail too).
+    """
+
+    active: List[Finding]
+    suppressed: List[Finding]
+    stale: List[BaselineEntry]
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse the baseline file; a missing file is an empty baseline.
+
+    Raises :class:`ConfigurationError` on malformed documents, unknown keys
+    or entries whose justification is missing/empty — an unjustified entry is
+    not an exception, it is a suppressed bug.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"baseline {path} is not valid JSON: {error}")
+    entries = document.get("entries") if isinstance(document, dict) else None
+    if not isinstance(entries, list):
+        raise ConfigurationError(
+            f"baseline {path} must be an object with an 'entries' list"
+        )
+    required = {"rule", "path", "symbol", "justification"}
+    parsed: List[BaselineEntry] = []
+    for index, raw in enumerate(entries):
+        if not isinstance(raw, dict) or set(raw) != required:
+            raise ConfigurationError(
+                f"baseline entry #{index} must have exactly the keys "
+                f"{sorted(required)}; got {sorted(raw) if isinstance(raw, dict) else raw!r}"
+            )
+        if not str(raw["justification"]).strip() or "TODO" in raw["justification"]:
+            raise ConfigurationError(
+                f"baseline entry #{index} ({raw['rule']}::{raw['path']}::"
+                f"{raw['symbol']}) lacks a real justification"
+            )
+        parsed.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                symbol=str(raw["symbol"]),
+                justification=str(raw["justification"]),
+            )
+        )
+    keys = [entry.key for entry in parsed]
+    duplicates = sorted({key for key in keys if keys.count(key) > 1})
+    if duplicates:
+        raise ConfigurationError(f"baseline {path} has duplicate entries: {duplicates}")
+    return parsed
+
+
+def match_baseline(
+    findings: List[Finding], entries: List[BaselineEntry]
+) -> BaselineMatch:
+    """Split findings into active/suppressed and detect stale entries."""
+    by_key: Dict[str, BaselineEntry] = {entry.key: entry for entry in entries}
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    matched: set = set()
+    for finding in findings:
+        entry = by_key.get(finding.baseline_key)
+        if entry is None:
+            active.append(finding)
+        else:
+            suppressed.append(finding)
+            matched.add(entry.key)
+    stale = [entry for entry in entries if entry.key not in matched]
+    return BaselineMatch(active=active, suppressed=suppressed, stale=stale)
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> Tuple[int, Path]:
+    """Write a baseline skeleton covering ``findings`` (justifications TODO).
+
+    The skeleton deliberately fails :func:`load_baseline` until every
+    placeholder justification is replaced — ``--write-baseline`` bootstraps
+    the file, a human signs off each entry.
+    """
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "symbol": finding.symbol,
+            "justification": f"TODO: justify ({finding.message})",
+        }
+        for finding in findings
+    ]
+    document = {"entries": entries}
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return len(entries), path

@@ -1,0 +1,157 @@
+"""Command-line driver of repro-lint: ``python -m repro.analysis``.
+
+Runs the registered rules over the repository, filters the findings through
+the committed baseline and exits nonzero when anything non-baselined (or a
+stale baseline entry) remains — the ``analysis-smoke`` CI job is exactly this
+invocation.
+
+Usage::
+
+    python -m repro.analysis                     # text report, all rules
+    python -m repro.analysis --format json       # machine-readable report
+    python -m repro.analysis --only determinism  # one rule
+    python -m repro.analysis --list-rules        # what is registered
+    python -m repro.analysis --write-baseline    # bootstrap baseline entries
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers the built-ins)
+from repro.analysis.baseline import load_baseline, match_baseline, write_baseline
+from repro.analysis.engine import rule_names, rule_spec, run_rules
+from repro.analysis.project import Project
+from repro.errors import ConfigurationError
+
+#: Default baseline location, next to the analysis package itself.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def _detect_root(argument: Optional[str]) -> Path:
+    """The repository root: ``--root``, else cwd, else the package's repo."""
+    if argument is not None:
+        return Path(argument).resolve()
+    cwd = Path.cwd()
+    if (cwd / "src" / "repro").is_dir():
+        return cwd
+    # src/repro/analysis/cli.py -> parents[3] is the repository root.
+    return Path(__file__).resolve().parents[3]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: static invariant checks for the reproduction",
+    )
+    parser.add_argument(
+        "--root", default=None, help="repository root (default: auto-detected)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="RULE",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE.name} next to the package)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "write the current findings as baseline entries with TODO "
+            "justifications (the baseline stays invalid until each TODO is "
+            "replaced) and exit"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the analyzer; returns the process exit code."""
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_id in rule_names():
+            spec = rule_spec(rule_id)
+            print(f"{rule_id:18s} {spec.description}  [scope: {spec.scope}]")
+        return 0
+
+    try:
+        root = _detect_root(options.root)
+        project = Project.from_root(root)
+        result = run_rules(project, only=options.only)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(options.baseline) if options.baseline is not None else DEFAULT_BASELINE
+    )
+    if options.write_baseline:
+        count, path = write_baseline(baseline_path, result.findings)
+        print(f"wrote {count} entries to {path}; replace every TODO justification")
+        return 0
+
+    try:
+        entries = [] if options.no_baseline else load_baseline(baseline_path)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # Entries for rules that did not run this invocation (--only) cannot be
+    # judged stale — only the full run polices staleness.
+    entries = [entry for entry in entries if entry.rule in result.rules_run]
+    match = match_baseline(result.findings, entries)
+    violations = bool(match.active) or bool(match.stale)
+
+    if options.format == "json":
+        document = {
+            "root": str(root),
+            "rules": result.rules_run,
+            "findings": [finding.as_dict() for finding in match.active],
+            "suppressed": len(match.suppressed),
+            "stale_baseline": [
+                {"rule": entry.rule, "path": entry.path, "symbol": entry.symbol}
+                for entry in match.stale
+            ],
+            "status": "violations" if violations else "ok",
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for finding in match.active:
+            print(finding.format_text())
+        for entry in match.stale:
+            print(
+                f"stale baseline entry {entry.key} matched no finding — "
+                "remove it from the baseline"
+            )
+        summary = (
+            f"{len(match.active)} finding(s), {len(match.suppressed)} baselined, "
+            f"{len(match.stale)} stale baseline entr(ies); "
+            f"rules: {', '.join(result.rules_run)}"
+        )
+        print(("FAIL: " if violations else "OK: ") + summary)
+    return 1 if violations else 0

@@ -1,0 +1,216 @@
+"""The rule registry and finding model of repro-lint.
+
+Rules register themselves exactly like policies do in
+:mod:`repro.registry` — a decorator puts a :class:`RuleSpec` into a module
+dictionary under a stable id, and the driver (:func:`run_rules`) looks rules
+up by name, so a new invariant becomes machine-checked by writing one
+function and decorating it::
+
+    from repro.analysis.engine import Finding, register_rule
+
+    @register_rule(
+        "no-eval",
+        description="eval() is banned in the reproduction",
+        hint="replace eval with an explicit dispatch table",
+    )
+    def _check_no_eval(project):
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                ...
+                yield Finding(rule="no-eval", path=module.relpath, ...)
+
+A rule receives the whole :class:`~repro.analysis.project.Project` (not one
+file), because several invariants are cross-file: registry hygiene must see
+every test, cache-key completeness must line stage bodies up against the key
+builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.project import Project
+from repro.errors import ConfigurationError
+
+#: The built-in pseudo-rule id used for files that fail to parse.
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Attributes:
+        rule: id of the rule that fired.
+        path: repository-relative posix path of the offending file.
+        line: 1-based line of the offending node.
+        column: 0-based column of the offending node.
+        symbol: stable identity of *what* violated the rule (an API name,
+            ``Class.attribute``, ``stage:parameter`` …) — together with
+            ``rule`` and ``path`` this keys baseline entries, so findings
+            survive unrelated line drift.
+        message: human-readable statement of the violation.
+        hint: how to fix it.
+    """
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    symbol: str
+    message: str
+    hint: str = ""
+
+    @property
+    def baseline_key(self) -> str:
+        """Line-independent identity used to match baseline entries."""
+        return f"{self.rule}::{self.path}::{self.symbol}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (the ``--format json`` row)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "symbol": self.symbol,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def format_text(self) -> str:
+        """The one-line ``--format text`` rendering."""
+        text = f"{self.path}:{self.line}:{self.column + 1}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+#: A rule body: yields findings over the whole project.
+RuleCheck = Callable[[Project], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """A registered rule: id, body and documentation.
+
+    Attributes:
+        rule_id: stable id (``--only`` selector, finding/baseline key).
+        check: the rule body.
+        description: one-line summary (shown by ``--list-rules``).
+        hint: default fix hint attached to findings that carry none.
+        scope: human-readable statement of which files the rule patrols.
+    """
+
+    rule_id: str
+    check: RuleCheck
+    description: str
+    hint: str = ""
+    scope: str = "src/repro/**"
+
+
+_RULES: Dict[str, RuleSpec] = {}
+
+
+def register_rule(
+    rule_id: str,
+    *,
+    description: str,
+    hint: str = "",
+    scope: str = "src/repro/**",
+) -> Callable[[RuleCheck], RuleCheck]:
+    """Decorator registering a rule body under ``rule_id``.
+
+    Mirrors :func:`repro.registry.register_policy`: duplicate ids fail loudly
+    at import time so a typo cannot silently shadow an existing rule.
+    """
+    if not rule_id:
+        raise ConfigurationError("rule id must be non-empty")
+
+    def decorate(check: RuleCheck) -> RuleCheck:
+        """Register ``check`` under the decorator's rule id."""
+        if rule_id in _RULES:
+            raise ConfigurationError(f"rule {rule_id!r} is already registered")
+        _RULES[rule_id] = RuleSpec(
+            rule_id=rule_id,
+            check=check,
+            description=description,
+            hint=hint,
+            scope=scope,
+        )
+        return check
+
+    return decorate
+
+
+def unregister_rule(rule_id: str) -> None:
+    """Remove a registered rule (for tests of the registry itself)."""
+    _RULES.pop(rule_id, None)
+
+
+def rule_names() -> List[str]:
+    """Ids of every registered rule, sorted."""
+    return sorted(_RULES)
+
+
+def rule_spec(rule_id: str) -> RuleSpec:
+    """The :class:`RuleSpec` registered under ``rule_id``."""
+    if rule_id not in _RULES:
+        raise ConfigurationError(
+            f"unknown rule {rule_id!r}; registered rules: {rule_names()}"
+        )
+    return _RULES[rule_id]
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analyzer run (before baseline filtering).
+
+    Attributes:
+        findings: every finding, sorted by (path, line, rule).
+        rules_run: ids of the rules that executed.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    rules_run: List[str] = field(default_factory=list)
+
+
+def run_rules(
+    project: Project, only: Optional[Sequence[str]] = None
+) -> AnalysisResult:
+    """Run the selected (default: all) rules over ``project``.
+
+    Files that failed to parse surface as findings of the ``parse-error``
+    pseudo-rule — a checker that silently skips unparseable files would be
+    trivially defeated.
+    """
+    selected = list(only) if only else rule_names()
+    specs = [rule_spec(rule_id) for rule_id in selected]
+    findings: List[Finding] = [
+        Finding(
+            rule=PARSE_ERROR_RULE,
+            path=relpath,
+            line=1,
+            column=0,
+            symbol="syntax",
+            message=f"file does not parse: {error}",
+            hint="fix the syntax error; unparseable files cannot be checked",
+        )
+        for relpath, error in project.parse_errors
+    ]
+    for spec in specs:
+        for finding in spec.check(project):
+            if not finding.hint and spec.hint:
+                finding = Finding(
+                    rule=finding.rule,
+                    path=finding.path,
+                    line=finding.line,
+                    column=finding.column,
+                    symbol=finding.symbol,
+                    message=finding.message,
+                    hint=spec.hint,
+                )
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.symbol))
+    return AnalysisResult(findings=findings, rules_run=[spec.rule_id for spec in specs])

@@ -1,0 +1,23 @@
+"""Built-in repro-lint rules.
+
+Importing this package registers every built-in rule with the engine's
+registry (exactly how importing :mod:`repro.registry` registers the built-in
+policies).  A new rule module only needs to be imported here to become part
+of ``python -m repro.analysis``.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (imported for registration side effects)
+    cache_keys,
+    determinism,
+    locks,
+    process_boundary,
+    registry_hygiene,
+)
+
+__all__ = [
+    "cache_keys",
+    "determinism",
+    "locks",
+    "process_boundary",
+    "registry_hygiene",
+]

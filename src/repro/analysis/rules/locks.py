@@ -1,0 +1,155 @@
+"""Ledger lock discipline: shared-memory state only moves under the lock.
+
+:class:`~repro.service.ledger.SharedDailyLedger` guarantees cross-process
+conservation by guarding raw shared-memory day buckets with one
+``multiprocessing.Lock`` — a guarantee that silently evaporates the moment a
+new method reads or writes a bucket outside the critical section.  The
+dynamic conservation tests only catch the races they happen to provoke; this
+rule catches the *access*.
+
+The rule is structural, not name-based: any class whose ``__init__`` binds
+
+* at least one shared buffer — ``self.x = multiprocessing.Array/Value/
+  RawArray/RawValue(...)`` (any import alias), and
+* at least one lock — ``self.y = multiprocessing.Lock()/RLock()`` (or
+  ``threading``),
+
+gets every later ``self.x`` load, store, subscript or iteration checked for
+being *lexically* inside a ``with self.y:`` block.  ``__init__`` itself is
+exempt (the buffers are born there, before any worker can race).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.analysis.engine import Finding, register_rule
+from repro.analysis.project import Project, dotted_name
+
+RULE_ID = "ledger-lock"
+
+_BUFFER_FACTORIES = {"Array", "Value", "RawArray", "RawValue"}
+_LOCK_FACTORIES = {"Lock", "RLock"}
+
+
+def _self_attr_assigns(init: ast.FunctionDef) -> Iterator[tuple]:
+    """``(attr_name, value_node)`` for every ``self.<attr> = ...`` in ``__init__``."""
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                yield target.attr, node.value
+
+
+def _factory_tail(value: ast.AST) -> str:
+    """Last dotted segment of a call's callee (``mp.Lock`` -> ``Lock``)."""
+    if not isinstance(value, ast.Call):
+        return ""
+    name = dotted_name(value.func)
+    return name.split(".")[-1] if name else ""
+
+
+def _shared_state(cls: ast.ClassDef) -> tuple:
+    """``(buffer_attrs, lock_attrs)`` declared by the class's ``__init__``."""
+    buffers: Set[str] = set()
+    locks: Set[str] = set()
+    for statement in cls.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == "__init__":
+            for attr, value in _self_attr_assigns(statement):
+                tail = _factory_tail(value)
+                if tail in _BUFFER_FACTORIES:
+                    buffers.add(attr)
+                elif tail in _LOCK_FACTORIES:
+                    locks.add(attr)
+    return buffers, locks
+
+
+def _is_lock_guard(item: ast.withitem, locks: Set[str]) -> bool:
+    """Whether one ``with`` item acquires ``self.<lock>``."""
+    expr = item.context_expr
+    # both `with self._lock:` and `with self._lock as held:` count
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in locks
+    )
+
+
+def _walk_method(
+    node: ast.AST,
+    locked: bool,
+    buffers: Set[str],
+    locks: Set[str],
+    cls_name: str,
+    relpath: str,
+    findings: List[Finding],
+) -> None:
+    """Depth-first walk tracking whether the lexical position holds the lock."""
+    if isinstance(node, ast.With):
+        holds = locked or any(_is_lock_guard(item, locks) for item in node.items)
+        for item in node.items:
+            _walk_method(item.context_expr, locked, buffers, locks, cls_name, relpath, findings)
+        for child in node.body:
+            _walk_method(child, holds, buffers, locks, cls_name, relpath, findings)
+        return
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in buffers
+        and not locked
+    ):
+        access = "write" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+        findings.append(
+            Finding(
+                rule=RULE_ID,
+                path=relpath,
+                line=node.lineno,
+                column=node.col_offset,
+                symbol=f"{cls_name}.{node.attr}",
+                message=(
+                    f"{access} of shared-memory buffer self.{node.attr} outside "
+                    f"a 'with self.{sorted(locks)[0]}' block"
+                ),
+            )
+        )
+        return  # the children (Name 'self') need no visit
+    for child in ast.iter_child_nodes(node):
+        _walk_method(child, locked, buffers, locks, cls_name, relpath, findings)
+
+
+@register_rule(
+    RULE_ID,
+    description=(
+        "reads/writes of multiprocessing shared-memory buffers must sit "
+        "lexically inside the owning class's 'with self._lock' block"
+    ),
+    hint="move the access inside the critical section (or snapshot under the lock)",
+)
+def check_ledger_locks(project: Project) -> Iterator[Finding]:
+    """Flag shared-buffer accesses outside the owning lock, class by class."""
+    for module in project.modules:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            buffers, locks = _shared_state(cls)
+            if not buffers or not locks:
+                continue
+            findings: List[Finding] = []
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name == "__init__":
+                    continue
+                for statement in method.body:
+                    _walk_method(
+                        statement, False, buffers, locks, cls.name, module.relpath, findings
+                    )
+            yield from findings

@@ -1,0 +1,114 @@
+"""Registry hygiene: registered extension points are documented and tested.
+
+The repo's extension surface is its registries — ``@register_policy``,
+``@register_figure``, ``@register_planner`` and ``@register_scheduler``.  A
+registered name is reachable from every CLI and sweep by string, so an
+undocumented or untested entry is a public API with no contract: nothing
+states what it does and nothing fails when it breaks.  For every registration
+in ``src/repro/**`` this rule requires:
+
+* the decorated function/class carries a docstring (D1 exempts private
+  ``_factory`` helpers; the registry does not — the *name* is public even
+  when the factory is not); and
+* the registered name appears **quoted** in at least one file under
+  ``tests/`` (substring matches like ``fifo`` inside ``fifofo`` do not
+  count), so deregistering or renaming the entry fails a test.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.engine import Finding, register_rule
+from repro.analysis.project import Project, dotted_name
+
+RULE_ID = "registry-hygiene"
+
+_REGISTRARS = {
+    "register_policy",
+    "register_figure",
+    "register_planner",
+    "register_scheduler",
+}
+
+
+def _registrations(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, str, ast.AST]]:
+    """``(registrar, registered_name, decorated_node)`` for every registration."""
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            callee = dotted_name(decorator.func)
+            if not callee:
+                continue
+            registrar = callee.split(".")[-1]
+            if registrar not in _REGISTRARS:
+                continue
+            name = _registered_name(decorator)
+            if name is not None:
+                yield registrar, name, node
+
+
+def _registered_name(decorator: ast.Call) -> Optional[str]:
+    """First positional string argument of the registration call."""
+    if decorator.args and isinstance(decorator.args[0], ast.Constant):
+        value = decorator.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def _quoted_in_tests(name: str, project: Project) -> bool:
+    """Whether the name appears as a quoted string in any test file."""
+    needles = (f'"{name}"', f"'{name}'")
+    return any(
+        needle in text for text in project.test_texts.values() for needle in needles
+    )
+
+
+@register_rule(
+    RULE_ID,
+    description=(
+        "every @register_policy/@register_figure/@register_planner/"
+        "@register_scheduler target has a docstring and its name is "
+        "referenced by at least one test"
+    ),
+)
+def check_registry_hygiene(project: Project) -> Iterator[Finding]:
+    """Audit every registration for a docstring and a quoted test reference."""
+    has_tests = bool(project.test_texts)
+    for module in project.modules:
+        for registrar, name, node in _registrations(module.tree):
+            symbol = f"{registrar}:{name}"
+            if ast.get_docstring(node) is None:
+                yield Finding(
+                    rule=RULE_ID,
+                    path=module.relpath,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    symbol=f"{symbol}:docstring",
+                    message=(
+                        f"{registrar}({name!r}) target {node.name!r} has no "
+                        "docstring — registered names are public API"
+                    ),
+                    hint="add a docstring stating what the registered entry does",
+                )
+            if has_tests and not _quoted_in_tests(name, project):
+                yield Finding(
+                    rule=RULE_ID,
+                    path=module.relpath,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    symbol=f"{symbol}:untested",
+                    message=(
+                        f"registered name {name!r} is not referenced (quoted) "
+                        "by any file under tests/ — deregistering it would "
+                        "break no test"
+                    ),
+                    hint="reference the name in a test (e.g. an expected-registry-contents assertion)",
+                )

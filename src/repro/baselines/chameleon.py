@@ -14,7 +14,7 @@ overheads" reported in Section 5.3).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.core.engine import DecisionContext, PolicyDecision

@@ -11,7 +11,7 @@ falls well short of optimal because the per-slot forecasts are poor.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Sequence
 
 import numpy as np
 

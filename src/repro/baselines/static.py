@@ -8,7 +8,6 @@ bound, violating the V-ETL constraint).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.core.engine import DecisionContext, PolicyDecision

@@ -12,8 +12,8 @@ DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
 
 from repro.errors import ConfigurationError
 from repro.cluster.resources import CloudSpec

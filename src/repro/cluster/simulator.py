@@ -15,7 +15,7 @@ the bytes pushed through the uplink.  The algorithm follows Appendix M.1:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional
 
 from repro.errors import ConfigurationError
 from repro.cluster.resources import CloudSpec

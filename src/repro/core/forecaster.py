@@ -9,12 +9,12 @@ The model is the small feed-forward network of Appendix K.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, NotFittedError
+from repro.errors import ConfigurationError
 from repro.ml.metrics import mean_absolute_error
 from repro.ml.mlp import MLP, MLPConfig
 

@@ -8,8 +8,8 @@ video segment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterator, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 

@@ -8,7 +8,6 @@ same :class:`~repro.core.engine.Policy` protocol in :mod:`repro.baselines`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -18,7 +17,7 @@ from repro.core.categorizer import ContentCategorizer
 from repro.core.engine import DecisionContext, PolicyDecision
 from repro.core.forecaster import ContentForecaster
 from repro.core.interfaces import SegmentOutcome
-from repro.core.planner import KnobPlan, KnobPlanner
+from repro.core.planner import KnobPlanner
 from repro.core.profiles import ProfileSet
 from repro.core.switcher import KnobSwitcher
 

@@ -13,7 +13,7 @@ Two families of curves are reproduced:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.baselines.optimum import optimum_assignment
 from repro.cluster.cost import CostModel

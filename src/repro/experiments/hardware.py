@@ -7,7 +7,7 @@ the corresponding cluster specifications.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.cluster.cost import GCP_MACHINES, MachineType
 from repro.cluster.resources import ClusterSpec

@@ -97,6 +97,7 @@ QUICK_TIERS = ["e2-standard-4", "e2-standard-16", "c2-standard-60"]
     sweep={"bucket_seconds": [1800.0]},
 )
 def _run_fig03(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig03``: 24-hour walk-through of the EV workload."""
     bundle = ctx.bundle("ev", online_days=ctx.scale(0.1, 0.02))
     trace = figure3_trace(
         bundle, cores=4, bucket_seconds=ctx.scale(1800.0, 600.0)
@@ -164,6 +165,7 @@ def _run_fig03(ctx: FigureContext) -> Dict[str, Any]:
     sweep={"tiers": QUICK_TIERS},
 )
 def _run_fig04(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig04``: Cost-quality trade-off of Skyscraper vs. the baselines."""
     workloads = ctx.scale(["covid", "mot", "mosei-high", "mosei-long"], ["covid"])
     tiers = ctx.scale(QUICK_TIERS, QUICK_TIERS[:2])
     per_workload: List[Dict[str, Any]] = []
@@ -250,6 +252,7 @@ def _run_fig04(ctx: FigureContext) -> Dict[str, Any]:
     sweep={"cost_ratio": [1.0, 1.8, 2.5], "tiers": QUICK_TIERS[:2]},
 )
 def _run_fig05_11(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig05_11``: Monetary-cost ablation of buffering and cloud bursting."""
     workloads = ctx.scale(["covid", "mot", "mosei-high", "mosei-long"], ["covid"])
     ratios = ctx.scale((1.0, 1.8, 2.5), (1.8,))
     tiers = QUICK_TIERS[:2]
@@ -323,6 +326,7 @@ def _run_fig05_11(ctx: FigureContext) -> Dict[str, Any]:
     sweep={"budgets_fraction_of_max": [0.05, 0.15, 0.4, 1.0]},
 )
 def _run_fig06_12(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig06_12``: Work-quality ablation: Static vs Skyscraper vs Optimum."""
     workloads = ctx.scale(["covid", "mot", "mosei-high", "mosei-long"], ["covid"])
     budgets = ctx.scale((0.05, 0.15, 0.4, 1.0), (0.15, 1.0))
     curve_rows: List[Dict[str, Any]] = []
@@ -405,6 +409,7 @@ def _run_fig06_12(ctx: FigureContext) -> Dict[str, Any]:
     sweep={"placements": [100, 1_000, 5_000], "categories": [5, 35, 65]},
 )
 def _run_fig13(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig13``: Decision overheads of the knob switcher and planner."""
     switcher_rows = []
     for placements in ctx.scale((100, 1_000, 5_000), (100, 1_000)):
         average = switcher_overhead_seconds(
@@ -479,6 +484,7 @@ def _run_fig13(ctx: FigureContext) -> Dict[str, Any]:
     sweep={"horizons_days": [0.02, 0.05, 0.1, 0.25]},
 )
 def _run_fig14(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig14``: Forecast horizon (planned-interval length) study."""
     label_period = 180.0
     workloads = ctx.scale(["covid", "mot"], ["covid"])
     horizons = ctx.scale((0.02, 0.05, 0.1, 0.25), (0.01, 0.02, 0.05))
@@ -560,6 +566,7 @@ def _run_fig14(ctx: FigureContext) -> Dict[str, Any]:
     workloads=("covid", "mot"),
 )
 def _run_fig15(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig15``: Knob-switcher content misclassification (Type-A vs Type-B)."""
     workloads = ctx.scale(["covid", "mot"], ["covid"])
     n_samples = ctx.scale(250, 80)
     rows = []
@@ -619,6 +626,7 @@ def _run_fig15(ctx: FigureContext) -> Dict[str, Any]:
     systems=("static", "idealized", "skyscraper", "optimum"),
 )
 def _run_fig16(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig16``: Idealized per-slot forecasting design vs. the practical design."""
     bundle = ctx.bundle("covid")
     runner = ExperimentRunner(bundle)
     source = bundle.setup.source
@@ -691,6 +699,7 @@ def _run_fig16(ctx: FigureContext) -> Dict[str, Any]:
     workloads=("covid",),
 )
 def _run_fig17(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig17``: Clustering algorithm for content categories: KMeans vs GMM."""
     bundle = ctx.bundle("covid")
     workload = bundle.setup.workload
     source = bundle.setup.source
@@ -765,6 +774,7 @@ def _run_fig17(ctx: FigureContext) -> Dict[str, Any]:
     sweep={"sample_counts": [20, 50, 100, 200]},
 )
 def _run_fig18(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig18``: Offline-phase runtimes and forecaster training-set size."""
     history_days = ctx.scale(0.5, 0.2)
     setup = make_setup("covid", history_days=history_days, online_days=0.05)
     sky = Skyscraper(
@@ -862,6 +872,7 @@ def _run_fig18(ctx: FigureContext) -> Dict[str, Any]:
     systems=("static", "videostorm", "skyscraper"),
 )
 def _run_fig19(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig19``: Comparison against VideoStorm."""
     workloads = ctx.scale(["covid", "mot", "mosei-high", "mosei-long"], ["covid"])
     rows = []
     checks = []
@@ -943,6 +954,7 @@ def _run_fig19(ctx: FigureContext) -> Dict[str, Any]:
     sweep={"n_categories": [1, 2, 4, 8]},
 )
 def _run_fig20(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig20``: Sensitivity to the number of content categories."""
     counts = ctx.scale((1, 2, 4, 8), (1, 2, 4))
     rows = []
     for n_categories in counts:
@@ -1005,6 +1017,7 @@ def _run_fig20(ctx: FigureContext) -> Dict[str, Any]:
     sweep={"switch_period_s": [2.0, 4.0, 8.0, 16.0]},
 )
 def _run_fig21(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig21``: Sensitivity to the knob switching frequency."""
     bundle = ctx.bundle("covid")
     runner = ExperimentRunner(bundle)
     periods = ctx.scale((2.0, 4.0, 8.0, 16.0), (2.0, 4.0, 8.0))
@@ -1080,6 +1093,7 @@ def _run_fig21(ctx: FigureContext) -> Dict[str, Any]:
     },
 )
 def _run_fig22(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig22``: Simulator accuracy on micro DAGs and cloud invocations."""
     micro = simulator_microbenchmark()
     cloud = simulator_cloud_benchmark()
     on_prem = [
@@ -1151,6 +1165,7 @@ def _run_fig22(ctx: FigureContext) -> Dict[str, Any]:
     workloads=("covid", "mot"),
 )
 def _run_fig23(ctx: FigureContext) -> Dict[str, Any]:
+    """``fig23``: Simulator accuracy on actual Skyscraper task graphs."""
     workloads = ctx.scale(["covid", "mot"], ["covid"])
     rows = []
     checks = []
@@ -1214,6 +1229,7 @@ def _run_fig23(ctx: FigureContext) -> Dict[str, Any]:
     systems=("skyscraper", "chameleon*", "videostorm", "static"),
 )
 def _run_table1(ctx: FigureContext) -> Dict[str, Any]:
+    """``table1``: Taxonomy of video knob-tuning systems, probed behaviourally."""
     bundle = ctx.bundle("covid")
     runner = ExperimentRunner(bundle)
     expectations = {
@@ -1286,6 +1302,7 @@ def _run_table1(ctx: FigureContext) -> Dict[str, Any]:
     sweep={"input_days": [0.05, 0.1, 0.2], "splits": [1, 2, 4, 8]},
 )
 def _run_table6(ctx: FigureContext) -> Dict[str, Any]:
+    """``table6``: Forecast MAE for different input lengths and split counts."""
     label_period = 180.0
     bundle = ctx.bundle("covid")
     labels = category_label_series(
@@ -1353,6 +1370,7 @@ def _run_table6(ctx: FigureContext) -> Dict[str, Any]:
     sweep={"n_streams": [1, 8, 32], "schedulers": ["fifo", "round-robin", "lag-aware"]},
 )
 def _run_fleet_scaling(ctx: FigureContext) -> Dict[str, Any]:
+    """``fleet_scaling``: Fleet scaling: streams x schedulers on one shared cluster."""
     online_days = ctx.scale(0.01, 0.005)
     n_streams_list = ctx.scale((1, 8, 32), (1, 8))
     schedulers = ctx.scale(
@@ -1431,6 +1449,7 @@ def _run_fleet_scaling(ctx: FigureContext) -> Dict[str, Any]:
     sweep={"shards": [1, 4, 8]},
 )
 def _run_fleet_service_scaling(ctx: FigureContext) -> Dict[str, Any]:
+    """``fleet_service_scaling``: Ingestion-service scaling: one fleet across shard counts."""
     online_days = ctx.scale(0.01, 0.005)
     n_streams = ctx.scale(128, 16)
     shard_counts = ctx.scale((1, 4, 8), (1, 2))
@@ -1506,6 +1525,7 @@ def _run_fleet_service_scaling(ctx: FigureContext) -> Dict[str, Any]:
     sweep={"workers": [1, 4]},
 )
 def _run_offline_scaling(ctx: FigureContext) -> Dict[str, Any]:
+    """``offline_scaling``: Offline-phase scaling: fit wall-clock vs. workers, cache hits."""
     workers = ctx.scale((1, 4), (1, 2))
     history_days = ctx.scale(0.25, 0.1)
     presample = ctx.scale(80, 40)
@@ -1656,6 +1676,7 @@ _LADDER_EPS = 1e-9
     },
 )
 def _run_fleet_joint_planning(ctx: FigureContext) -> Dict[str, Any]:
+    """``fleet_joint_planning``: Joint fleet planning: one budget/core pool across tenants."""
     budget = JOINT_PLANNING_BUDGET
     cores = JOINT_PLANNING_CORES
     bundle = ctx.bundle("ev")
@@ -1863,6 +1884,7 @@ ADAPTATION_MARGIN = 0.02
     systems=("static", "skyscraper", "skyscraper_adaptive"),
 )
 def _run_online_adaptation(ctx: FigureContext) -> Dict[str, Any]:
+    """``online_adaptation``: Online adaptation under content drift: monitor + staged re-fit."""
     history_days = ctx.history_days
     online_days = ctx.scale(0.06, 0.025)
     setup = make_regime_setup(

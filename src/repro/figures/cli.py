@@ -21,7 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import repro.figures.catalog  # noqa: F401  (registers the built-in specs)
 from repro.figures.report import check_report, render_report, write_report

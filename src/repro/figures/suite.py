@@ -23,7 +23,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.figures.context import BundleProvider, FigureContext
-from repro.figures.spec import FigureSpec, figure_names, figure_spec
+from repro.figures.spec import figure_names, figure_spec
 
 #: Bumped when the artifact JSON layout changes incompatibly.
 ARTIFACT_FORMAT_VERSION = 1

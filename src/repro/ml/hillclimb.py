@@ -9,7 +9,7 @@ seeds approximates the work-quality Pareto frontier.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError
 

@@ -8,7 +8,7 @@ like the paper's formulation (Equations 2-4) instead of raw matrix plumbing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np

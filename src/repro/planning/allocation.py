@@ -15,7 +15,7 @@ per admitted tenant.  Deploying a plan means two things:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.core.fleet import DailyBudgetLedger
 from repro.errors import ConfigurationError

@@ -274,6 +274,7 @@ def _default_budget(context: RunContext, n_segments: int) -> float:
     description="content-adaptive knob tuning with throughput guarantees (the paper)",
 )
 def _skyscraper_factory(context: RunContext) -> Policy:
+    """The paper's system: the fitted Skyscraper's engine policy."""
     return context.skyscraper.build_policy(context.segment_seconds)
 
 
@@ -294,6 +295,7 @@ def _skyscraper_adaptive_factory(
     forecast_check_segments: int = 32,
     fine_tune_epochs: int = 60,
 ) -> Policy:
+    """Skyscraper wrapped with the CUSUM drift monitor and staged re-fits."""
     return build_adaptive_policy(
         context.skyscraper,
         context.segment_seconds,
@@ -327,6 +329,7 @@ def adaptive_system_name(name: str) -> str:
 def _static_factory(
     context: RunContext, configuration_index: Optional[int] = None
 ) -> Policy:
+    """The best real-time static configuration (or an explicit index)."""
     profiles = context.profiles
     if configuration_index is None:
         profile = best_static_configuration(
@@ -347,6 +350,7 @@ def _chameleon_factory(
     profiling_period_seconds: float = 480.0,
     quality_tolerance: float = 0.9,
 ) -> Policy:
+    """Chameleon* — content adaptive via periodic re-profiling, buffered."""
     return ChameleonStarPolicy(
         context.workload,
         context.profiles,
@@ -360,6 +364,7 @@ def _chameleon_factory(
     description="query-load adaptive only; degenerates to the best real-time configuration",
 )
 def _videostorm_factory(context: RunContext, safety_margin: float = 0.9) -> Policy:
+    """VideoStorm adapted — degenerates to the best real-time configuration."""
     return VideoStormPolicy(
         context.profiles, context.segment_seconds, safety_margin=safety_margin
     )
@@ -372,6 +377,7 @@ def _videostorm_factory(context: RunContext, safety_margin: float = 0.9) -> Poli
 def _optimum_factory(
     context: RunContext, budget_core_seconds: Optional[float] = None
 ) -> Policy:
+    """Ground-truth knapsack assignment replayed through the engine."""
     segments = _online_segments(context)
     if budget_core_seconds is None:
         budget_core_seconds = _default_budget(context, len(segments))
@@ -392,6 +398,7 @@ def _idealized_factory(
     bucket_seconds: float = 900.0,
     history_stride_segments: int = 60,
 ) -> Policy:
+    """Appendix B.1 idealized per-slot design replayed through the engine."""
     segments = _online_segments(context)
     if budget_core_seconds is None:
         budget_core_seconds = _default_budget(context, len(segments))

@@ -8,7 +8,7 @@ Chameleon* baseline crashes on under-provisioned hardware).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 from collections import deque
 

@@ -11,7 +11,7 @@ ingested together.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Sequence
 
 import numpy as np

@@ -11,7 +11,6 @@ sentence, lighting) the chosen knob configuration looks at.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

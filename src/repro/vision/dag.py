@@ -9,8 +9,8 @@ every task to the on-premise cluster or to the cloud.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Set
 
 from repro.errors import ConfigurationError, PlacementError
 from repro.vision.udf import OperatorCost

@@ -9,7 +9,7 @@ recovers small objects, larger models recover occlusions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from repro.video.codec import H264SizeModel
 from repro.video.content import ContentState
 from repro.video.frame import Frame, SyntheticObject
 from repro.vision.model_zoo import get_model_variant
-from repro.vision.udf import OperatorCost, UdfOutput, VisionOperator, clip01
+from repro.vision.udf import OperatorCost, VisionOperator, clip01
 
 #: AWS-Lambda-like pricing used for per-invocation cloud cost: the paper
 #: provisions 3 GB functions; at ~$0.0000167/GB-s this is ~$0.00005 per second.

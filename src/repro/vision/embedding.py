@@ -10,7 +10,6 @@ cost and payload size.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

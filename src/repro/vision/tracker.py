@@ -15,7 +15,6 @@ occlusions at a higher cost (Section J).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -8,8 +8,8 @@ query layer builds on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Sequence
 
 from repro.errors import QueryError
 

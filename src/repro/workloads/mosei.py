@@ -17,7 +17,6 @@ size, and the number of streams to analyze.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np

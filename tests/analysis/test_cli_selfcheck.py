@@ -1,0 +1,155 @@
+"""The analyzer's CLI, and the self-check that the real tree is clean.
+
+The self-check is the point of the whole exercise: ``python -m repro.analysis``
+over this repository must exit 0, every baseline entry must carry a real
+justification, and dropping the baseline must re-surface exactly the
+acknowledged findings (proving the baseline suppresses nothing else).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.baseline import load_baseline
+from repro.analysis.cli import DEFAULT_BASELINE, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+EXPECTED_RULES = {
+    "cache-key",
+    "determinism",
+    "ledger-lock",
+    "process-boundary",
+    "registry-hygiene",
+}
+
+
+class TestSelfCheck:
+    def test_repository_is_clean_modulo_baseline(self, capsys):
+        assert main(["--root", str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OK:")
+
+    def test_json_report_is_ok_and_runs_all_rules(self, capsys):
+        assert main(["--root", str(REPO_ROOT), "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["status"] == "ok"
+        assert document["findings"] == []
+        assert EXPECTED_RULES <= set(document["rules"])
+        assert document["suppressed"] == len(load_baseline(DEFAULT_BASELINE))
+
+    def test_baseline_entries_are_each_justified(self):
+        entries = load_baseline(DEFAULT_BASELINE)
+        for entry in entries:
+            assert len(entry.justification.strip()) > 40, entry.key
+            assert "TODO" not in entry.justification
+
+    def test_dropping_the_baseline_resurfaces_exactly_its_entries(self, capsys):
+        # --no-baseline must fail with precisely the acknowledged findings:
+        # anything more means the baseline masks live violations, anything
+        # less means it holds stale entries.
+        exit_code = main(
+            ["--root", str(REPO_ROOT), "--no-baseline", "--format", "json"]
+        )
+        document = json.loads(capsys.readouterr().out)
+        active_keys = {
+            f"{row['rule']}::{row['path']}::{row['symbol']}"
+            for row in document["findings"]
+        }
+        baseline_keys = {entry.key for entry in load_baseline(DEFAULT_BASELINE)}
+        assert active_keys == baseline_keys
+        assert exit_code == (1 if baseline_keys else 0)
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in EXPECTED_RULES:
+            assert rule_id in out
+
+    def test_only_selector_restricts_the_run(self, capsys):
+        assert (
+            main(
+                [
+                    "--root",
+                    str(REPO_ROOT),
+                    "--only",
+                    "determinism",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["rules"] == ["determinism"]
+
+    def test_unknown_rule_is_a_usage_error(self, capsys):
+        assert main(["--root", str(REPO_ROOT), "--only", "zz-nope"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_root_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["--root", str(tmp_path)]) == 2
+        assert "no src/repro package" in capsys.readouterr().err
+
+    def test_malformed_baseline_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        assert (
+            main(["--root", str(REPO_ROOT), "--baseline", str(bad)]) == 2
+        )
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_write_baseline_bootstraps_todo_entries(self, tmp_path, capsys):
+        target = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "--root",
+                    str(REPO_ROOT),
+                    "--no-baseline",
+                    "--write-baseline",
+                    "--baseline",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert "replace every TODO" in capsys.readouterr().out
+        document = json.loads(target.read_text())
+        assert all(
+            "TODO" in entry["justification"] for entry in document["entries"]
+        )
+
+    def test_stale_baseline_entry_fails_the_run(self, tmp_path, capsys):
+        stale = tmp_path / "baseline.json"
+        stale.write_text(
+            json.dumps(
+                {
+                    "entries": [
+                        {
+                            "rule": "determinism",
+                            "path": "src/repro/core/nonexistent.py",
+                            "symbol": "random.random",
+                            "justification": "covers a finding that no longer exists",
+                        }
+                    ]
+                }
+            )
+        )
+        assert (
+            main(
+                [
+                    "--root",
+                    str(REPO_ROOT),
+                    "--only",
+                    "determinism",
+                    "--baseline",
+                    str(stale),
+                ]
+            )
+            == 1
+        )
+        assert "stale baseline entry" in capsys.readouterr().out

@@ -1,0 +1,181 @@
+"""Rule registry, finding model and baseline mechanics of repro-lint."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    load_baseline,
+    match_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    Finding,
+    register_rule,
+    rule_names,
+    rule_spec,
+    run_rules,
+    unregister_rule,
+)
+from repro.analysis.project import Project
+from repro.errors import ConfigurationError
+
+
+def _finding(**overrides):
+    base = dict(
+        rule="determinism",
+        path="src/repro/core/engine.py",
+        line=10,
+        column=4,
+        symbol="random.random",
+        message="boom",
+        hint="seed it",
+    )
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestRegistry:
+    def test_duplicate_rule_id_fails_loudly(self):
+        @register_rule("zz-temp-rule", description="temp")
+        def first(project):
+            return []
+
+        try:
+            with pytest.raises(ConfigurationError, match="already registered"):
+
+                @register_rule("zz-temp-rule", description="temp again")
+                def second(project):
+                    return []
+
+        finally:
+            unregister_rule("zz-temp-rule")
+
+    def test_empty_rule_id_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            register_rule("", description="nameless")
+
+    def test_unknown_rule_lookup(self):
+        with pytest.raises(ConfigurationError, match="unknown rule"):
+            rule_spec("zz-never-registered")
+
+    def test_builtin_rules_are_registered(self):
+        assert {
+            "cache-key",
+            "determinism",
+            "ledger-lock",
+            "process-boundary",
+            "registry-hygiene",
+        } <= set(rule_names())
+
+
+class TestEngine:
+    def test_parse_errors_surface_as_findings(self):
+        project = Project.from_sources(
+            {"src/repro/core/broken.py": "def oops(:\n"}
+        )
+        result = run_rules(project, only=["determinism"])
+        assert [f.rule for f in result.findings] == ["parse-error"]
+        assert result.findings[0].path == "src/repro/core/broken.py"
+
+    def test_default_hint_fills_hintless_findings(self):
+        @register_rule("zz-hinted", description="temp", hint="the default hint")
+        def check(project):
+            yield _finding(rule="zz-hinted", hint="")
+
+        try:
+            result = run_rules(Project.from_sources({}), only=["zz-hinted"])
+            assert result.findings[0].hint == "the default hint"
+        finally:
+            unregister_rule("zz-hinted")
+
+    def test_unknown_only_selector_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown rule"):
+            run_rules(Project.from_sources({}), only=["zz-nope"])
+
+
+class TestFinding:
+    def test_baseline_key_is_line_independent(self):
+        assert (
+            _finding(line=10).baseline_key == _finding(line=99).baseline_key
+        )
+
+    def test_text_format_has_location_rule_and_hint(self):
+        text = _finding().format_text()
+        assert "src/repro/core/engine.py:10:5" in text
+        assert "[determinism]" in text
+        assert "hint: seed it" in text
+
+    def test_as_dict_round_trips_through_json(self):
+        row = json.loads(json.dumps(_finding().as_dict()))
+        assert row["symbol"] == "random.random" and row["line"] == 10
+
+
+class TestBaseline:
+    def _entry(self, **overrides):
+        base = dict(
+            rule="determinism",
+            path="src/repro/core/engine.py",
+            symbol="random.random",
+            justification="deliberate for reasons",
+        )
+        base.update(overrides)
+        return base
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_baseline(path)
+
+    def test_wrong_keys_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        entry = self._entry()
+        del entry["symbol"]
+        path.write_text(json.dumps({"entries": [entry]}))
+        with pytest.raises(ConfigurationError, match="exactly the keys"):
+            load_baseline(path)
+
+    @pytest.mark.parametrize("justification", ["", "   ", "TODO: justify"])
+    def test_unjustified_entries_rejected(self, tmp_path, justification):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"entries": [self._entry(justification=justification)]})
+        )
+        with pytest.raises(ConfigurationError, match="real justification"):
+            load_baseline(path)
+
+    def test_duplicate_entries_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"entries": [self._entry(), self._entry()]}))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            load_baseline(path)
+
+    def test_match_splits_active_suppressed_and_stale(self):
+        covered = _finding()
+        uncovered = _finding(symbol="np.random.rand")
+        entries = [
+            BaselineEntry(**self._entry()),
+            BaselineEntry(**self._entry(symbol="time.time")),
+        ]
+        match = match_baseline([covered, uncovered], entries)
+        assert match.suppressed == [covered]
+        assert match.active == [uncovered]
+        assert [entry.symbol for entry in match.stale] == ["time.time"]
+
+    def test_written_skeleton_fails_loading_until_justified(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        count, written = write_baseline(path, [_finding()])
+        assert count == 1 and written == path
+        with pytest.raises(ConfigurationError, match="real justification"):
+            load_baseline(path)
+        document = json.loads(path.read_text())
+        document["entries"][0]["justification"] = "signed off because reasons"
+        path.write_text(json.dumps(document))
+        assert len(load_baseline(path)) == 1

@@ -1,0 +1,353 @@
+"""Each repro-lint rule demonstrated on a seeded violation and its clean twin.
+
+Every fixture pair goes through :meth:`Project.from_sources` and
+:func:`run_rules` — exactly the code path ``python -m repro.analysis`` runs —
+so these tests pin both the detection (the positive snippet is caught with
+the right symbol) and the precision (the corrected twin is clean).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.engine import run_rules
+from repro.analysis.project import Project
+
+
+def _findings(sources, rule, test_texts=None):
+    """Run one rule over in-memory fixtures; return its findings."""
+    project = Project.from_sources(
+        {path: textwrap.dedent(text) for path, text in sources.items()},
+        test_texts=test_texts,
+    )
+    return run_rules(project, only=[rule]).findings
+
+
+class TestDeterminism:
+    VIOLATING = {
+        "src/repro/core/fixture.py": """
+            import random
+            import time
+            import numpy as np
+            from datetime import datetime
+
+            def sample(n):
+                x = random.random()
+                y = np.random.rand(n)
+                stamp = time.time()
+                day = datetime.now()
+                return x, y, stamp, day
+        """
+    }
+
+    CLEAN = {
+        "src/repro/core/fixture.py": """
+            import random
+            import time
+            import numpy as np
+
+            def sample(n, seed, timestamp):
+                rng = random.Random(seed)
+                gen = np.random.default_rng(seed)
+                elapsed = time.perf_counter()
+                return rng.random(), gen.standard_normal(n), elapsed, timestamp
+        """
+    }
+
+    def test_ambient_randomness_and_wall_clock_are_caught(self):
+        symbols = {f.symbol for f in _findings(self.VIOLATING, "determinism")}
+        assert symbols == {
+            "random.random",
+            "np.random.rand",
+            "time.time",
+            "datetime.now",
+        }
+
+    def test_seeded_generators_and_perf_counter_are_clean(self):
+        assert _findings(self.CLEAN, "determinism") == []
+
+    def test_from_imports_are_tracked_through_aliases(self):
+        sources = {
+            "src/repro/workloads/fixture.py": """
+                from random import uniform as u
+                from time import time as wall
+
+                def jitter():
+                    return u(0.0, 1.0) + wall()
+            """
+        }
+        symbols = {f.symbol for f in _findings(sources, "determinism")}
+        assert symbols == {"random.uniform", "time.time"}
+
+    def test_service_modules_are_out_of_scope(self):
+        sources = {
+            "src/repro/service/fixture.py": self.VIOLATING[
+                "src/repro/core/fixture.py"
+            ]
+        }
+        assert _findings(sources, "determinism") == []
+
+
+class TestLedgerLock:
+    VIOLATING = {
+        "src/repro/service/fixture_ledger.py": """
+            import multiprocessing
+
+            class Ledger:
+                def __init__(self, days):
+                    self._spend = multiprocessing.Array("d", days, lock=False)
+                    self._lock = multiprocessing.Lock()
+
+                def total(self):
+                    return sum(self._spend[:])
+        """
+    }
+
+    CLEAN = {
+        "src/repro/service/fixture_ledger.py": """
+            import multiprocessing
+
+            class Ledger:
+                def __init__(self, days):
+                    self._spend = multiprocessing.Array("d", days, lock=False)
+                    self._lock = multiprocessing.Lock()
+
+                def total(self):
+                    with self._lock:
+                        return sum(self._spend[:])
+        """
+    }
+
+    def test_unguarded_buffer_read_is_caught(self):
+        findings = _findings(self.VIOLATING, "ledger-lock")
+        assert [f.symbol for f in findings] == ["Ledger._spend"]
+        assert "outside" in findings[0].message
+
+    def test_access_inside_the_lock_is_clean(self):
+        assert _findings(self.CLEAN, "ledger-lock") == []
+
+    def test_init_itself_is_exempt(self):
+        # The CLEAN fixture's __init__ binds the buffer without holding the
+        # lock — that must not fire (the buffer is born before any worker).
+        assert _findings(self.CLEAN, "ledger-lock") == []
+
+    def test_classes_without_a_lock_are_ignored(self):
+        sources = {
+            "src/repro/service/fixture_ledger.py": """
+                import multiprocessing
+
+                class PlainBuffer:
+                    def __init__(self, days):
+                        self._spend = multiprocessing.Array("d", days)
+
+                    def total(self):
+                        return sum(self._spend[:])
+            """
+        }
+        assert _findings(sources, "ledger-lock") == []
+
+
+class TestCacheKey:
+    VIOLATING = {
+        "src/repro/core/fixture_pipeline.py": """
+            from repro.core.offline import StageSpec
+
+            STAGES = (StageSpec(name="train", cacheable=True),)
+
+            class Pipeline:
+                def __init__(self, params, seed):
+                    self.params = params
+                    self.seed = seed
+
+                def _base_payload(self):
+                    return {"seed": self.seed}
+
+                def _run_train(self):
+                    return self.params.horizon * self.params.rate
+
+                def _stage_key_params(self, spec):
+                    key = {}
+                    if spec.name == "train":
+                        key["horizon"] = self.params.horizon
+                    return key
+        """
+    }
+
+    CLEAN = {
+        "src/repro/core/fixture_pipeline.py": """
+            from repro.core.offline import StageSpec
+
+            STAGES = (StageSpec(name="train", cacheable=True),)
+
+            class Pipeline:
+                def __init__(self, params, seed):
+                    self.params = params
+                    self.seed = seed
+
+                def _base_payload(self):
+                    return {"seed": self.seed}
+
+                def _run_train(self):
+                    return self.params.horizon * self.params.rate
+
+                def _stage_key_params(self, spec):
+                    params = self.params
+                    key = {}
+                    if spec.name == "train":
+                        key["horizon"] = params.horizon
+                        key["rate"] = params.rate
+                    return key
+        """
+    }
+
+    def test_unkeyed_parameter_read_is_caught(self):
+        findings = _findings(self.VIOLATING, "cache-key")
+        assert [f.symbol for f in findings] == ["train:rate"]
+        assert "stale artifact" in findings[0].message
+
+    def test_fully_keyed_stage_is_clean(self):
+        # The twin keys 'rate' through the `params = self.params` local alias
+        # declared outside the stage branch — the alias must be honoured.
+        assert _findings(self.CLEAN, "cache-key") == []
+
+    def test_reads_through_helper_methods_are_expanded(self):
+        sources = {
+            "src/repro/core/fixture_pipeline.py": """
+                from repro.core.offline import StageSpec
+
+                STAGES = (StageSpec(name="train", cacheable=True),)
+
+                class Pipeline:
+                    def __init__(self, params):
+                        self.params = params
+
+                    def _window(self):
+                        return self.params.window_days
+
+                    def _run_train(self):
+                        return self._window() * 2
+
+                    def _stage_key_params(self, spec):
+                        return {}
+            """
+        }
+        symbols = {f.symbol for f in _findings(sources, "cache-key")}
+        assert symbols == {"train:window_days"}
+
+
+class TestProcessBoundary:
+    VIOLATING = {
+        "src/repro/experiments/fixture_pool.py": """
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(items):
+                executor = ProcessPoolExecutor()
+                return list(executor.map(lambda item: item + 1, items))
+
+            def spawn(log_path):
+                def worker(handle):
+                    handle.write("x")
+                return multiprocessing.Process(
+                    target=worker, args=(open(log_path),)
+                )
+        """
+    }
+
+    CLEAN = {
+        "src/repro/experiments/fixture_pool.py": """
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work_unit(item):
+                return item + 1
+
+            def run(items):
+                executor = ProcessPoolExecutor()
+                return list(executor.map(work_unit, items))
+
+            def spawn(queue):
+                return multiprocessing.Process(target=work_unit, args=(queue,))
+        """
+    }
+
+    def test_lambda_nested_def_and_open_file_are_caught(self):
+        findings = _findings(self.VIOLATING, "process-boundary")
+        messages = " | ".join(f.message for f in findings)
+        assert len(findings) == 3
+        assert "lambda" in messages
+        assert "nested function 'worker'" in messages
+        assert "open file" in messages
+
+    def test_module_level_callables_are_clean(self):
+        assert _findings(self.CLEAN, "process-boundary") == []
+
+    def test_bound_method_handed_to_a_pool_is_caught(self):
+        sources = {
+            "src/repro/experiments/fixture_pool.py": """
+                class Runner:
+                    def _evaluate(self, item):
+                        return item
+
+                    def run(self, pool, items):
+                        return list(pool.map(self._evaluate, items))
+            """
+        }
+        findings = _findings(sources, "process-boundary")
+        assert [f.symbol for f in findings] == ["run:self._evaluate"]
+
+
+class TestRegistryHygiene:
+    VIOLATING = {
+        "src/repro/baselines/fixture_policy.py": """
+            from repro.registry import register_policy
+
+            @register_policy("mystery")
+            def _mystery_factory(params):
+                return None
+        """
+    }
+
+    CLEAN = {
+        "src/repro/baselines/fixture_policy.py": '''
+            from repro.registry import register_policy
+
+            @register_policy("mystery")
+            def _mystery_factory(params):
+                """A documented fixture policy."""
+                return None
+        '''
+    }
+
+    UNRELATED_TESTS = {"tests/test_fixture.py": "def test_other():\n    pass\n"}
+    COVERING_TESTS = {
+        "tests/test_fixture.py": 'def test_names():\n    assert "mystery"\n'
+    }
+
+    def test_undocumented_and_untested_registration_is_caught(self):
+        symbols = {
+            f.symbol
+            for f in _findings(
+                self.VIOLATING, "registry-hygiene", test_texts=self.UNRELATED_TESTS
+            )
+        }
+        assert symbols == {
+            "register_policy:mystery:docstring",
+            "register_policy:mystery:untested",
+        }
+
+    def test_documented_and_quoted_registration_is_clean(self):
+        assert (
+            _findings(
+                self.CLEAN, "registry-hygiene", test_texts=self.COVERING_TESTS
+            )
+            == []
+        )
+
+    def test_substring_matches_do_not_count_as_coverage(self):
+        sneaky = {"tests/test_fixture.py": 'NAMES = ["mysteryfo"]\n'}
+        symbols = {
+            f.symbol
+            for f in _findings(self.CLEAN, "registry-hygiene", test_texts=sneaky)
+        }
+        assert symbols == {"register_policy:mystery:untested"}

@@ -1,6 +1,5 @@
 """Tests for the Appendix-M simulator, the reference executor and the profiler."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.executor import ReferenceExecutor

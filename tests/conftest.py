@@ -11,7 +11,7 @@ import pytest
 from repro.core.skyscraper import Skyscraper, SkyscraperResources
 from repro.video.content import ContentModel
 from repro.video.stream import StreamConfig, SyntheticVideoSource
-from repro.workloads.covid import CovidWorkload, make_covid_setup
+from repro.workloads.covid import CovidWorkload
 from repro.workloads.ev import EVCountingWorkload
 from repro.workloads.mot import MotWorkload
 from repro.workloads.mosei import MoseiWorkload

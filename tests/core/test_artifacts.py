@@ -9,7 +9,7 @@ from repro.cluster.resources import CloudSpec
 from repro.core.artifacts import ForecasterState, OfflineArtifacts
 from repro.core.forecaster import ContentForecaster, ForecastDataset
 from repro.core.skyscraper import Skyscraper, SkyscraperResources
-from repro.errors import ConfigurationError, NotFittedError
+from repro.errors import ConfigurationError
 
 
 def test_export_requires_fit(covid_workload):

@@ -1,6 +1,5 @@
 """Tests for the ingestion engine, Skyscraper policy and baselines (integration)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.chameleon import ChameleonStarPolicy

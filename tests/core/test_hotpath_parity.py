@@ -21,7 +21,7 @@ from repro.baselines.static import StaticPolicy, best_static_configuration
 from repro.cluster.profiler import PlacementProfile
 from repro.cluster.resources import CloudSpec, ClusterSpec
 from repro.core.categorizer import ContentCategorizer
-from repro.core.columnar import PlacementTable, SessionColumns
+from repro.core.columnar import SessionColumns
 from repro.core.fleet import DailyBudgetLedger, FleetEngine, FleetStream
 from repro.core.knobs import KnobConfiguration
 from repro.core.planner import KnobPlanner

@@ -6,7 +6,7 @@ import pytest
 from repro.cluster.profiler import PlacementProfile
 from repro.core.categorizer import ContentCategorizer
 from repro.core.knobs import KnobConfiguration
-from repro.core.planner import KnobPlan, KnobPlanner
+from repro.core.planner import KnobPlanner
 from repro.core.profiles import ConfigurationProfile, ProfileSet
 from repro.core.switcher import KnobSwitcher
 from repro.errors import ConfigurationError, NotFittedError, PlanningError

@@ -1,6 +1,5 @@
 """Tests for the micro-benchmark helpers behind Figures 13-23."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.harness import ExperimentConfig, prepare_bundle

@@ -9,7 +9,6 @@ the flag off — must be byte-identical to before the flag existed.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.registry import adaptive_system_name
 from repro.service import FleetIngestionService, RetryPolicy, ServiceConfig
